@@ -1,0 +1,19 @@
+"""Ablation — dL1 size/associativity sensitivity (Section 5.7)."""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_cache_params
+
+
+def test_ablation_cache_params(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_cache_params(n=n_instructions))
+    record(result)
+    rows = {r[0]: r for r in result.rows}
+    # Bigger caches miss less.
+    assert rows["64KB/4way"][3] <= rows["8KB/4way"][3]
+    # Paper: "the increase in the loads with replicas is not that
+    # significant ... even in a small cache, we are replicating the data
+    # that is really the most in demand."
+    lwr = [r[2] for r in result.rows]
+    assert max(lwr) - min(lwr) < 0.35
+    assert min(lwr) > 0.4

@@ -1,0 +1,13 @@
+"""Ablation — replica distance choice (Section 5.1 text)."""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_distance
+
+
+def test_ablation_distance(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_distance(n=n_instructions))
+    record(result)
+    lwr = dict(zip(result.column("distance"), result.column("loads_with_replica")))
+    # Paper: Distance-7 indistinguishable from Distance-N/2.
+    assert abs(lwr["7"] - lwr["N/2"]) < 0.15

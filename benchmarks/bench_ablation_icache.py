@@ -1,0 +1,14 @@
+"""Ablation — parity-only iL1 reliability (the paper's Section 1 claim)."""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_icache
+
+
+def test_ablation_icache(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_icache(n=n_instructions))
+    record(result)
+    for _, injected, detected, recovered, unrecoverable in result.rows:
+        # Read-only contents: detection alone suffices.
+        assert unrecoverable == 0
+        assert recovered == detected

@@ -1,0 +1,38 @@
+"""Ablation — where the ECC latency penalty comes from (pipeline params).
+
+Not a paper figure, but the design discussion of Section 1 ("it is
+certainly not feasible to provide single cycle latencies for caches of
+high-end processors") hinges on how much of a 2-cycle load the
+out-of-order window can hide.  This bench sweeps the window parameters
+and reports the BaseECC/BaseP cycle ratio at each point.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_pipeline
+
+from repro.cpu.pipeline import PipelineConfig
+from repro.harness.experiment import MachineConfig, run_experiment
+from repro.harness.figures import FigureResult
+
+
+def _ecc_ratio(n, **pipe_kwargs):
+    machine = MachineConfig(pipeline=PipelineConfig(**pipe_kwargs))
+    base = run_experiment("gzip", "BaseP", n_instructions=n, machine=machine)
+    ecc = run_experiment("gzip", "BaseECC", n_instructions=n, machine=machine)
+    return ecc.cycles / base.cycles
+
+
+
+
+def test_ablation_pipeline(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_pipeline(n=n_instructions))
+    record(result)
+    ratios = result.column("BaseECC/BaseP")
+    # Every configuration pays something for ECC.
+    assert all(r > 1.0 for r in ratios)
+    # Pointer-style load chains serialize at the load latency, so *no*
+    # window hides them — the absolute penalty is constant and the narrow,
+    # throughput-bound machine shows the smallest *relative* ratio.
+    assert ratios[0] <= ratios[1] + 0.02
+    assert abs(ratios[-1] - ratios[1]) < 0.05

@@ -1,0 +1,16 @@
+"""Ablation — the power-2 placement fallback of Section 3.1."""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_power2
+
+
+def test_ablation_power2(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_power2(n=n_instructions))
+    record(result)
+    ability = result.column("replication_ability")
+    # Monotone in attempts, with diminishing increments.
+    assert all(b >= a - 1e-9 for a, b in zip(ability, ability[1:]))
+    first_gain = ability[1] - ability[0]
+    late_gain = ability[-1] - ability[-2]
+    assert late_gain <= first_gain + 0.02

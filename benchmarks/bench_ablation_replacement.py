@@ -1,0 +1,24 @@
+"""Ablation — does ICR depend on true-LRU replacement? (extension)
+
+The paper's cache is true LRU.  Hardware L1s often ship tree-PLRU or
+random replacement; this bench checks that ICR's coverage and cost
+survive the approximation.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_replacement
+
+from repro.harness.experiment import run_experiment
+from repro.harness.figures import FigureResult
+
+
+
+
+def test_ablation_replacement(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_replacement(n=n_instructions))
+    record(result)
+    lwr = dict(zip(result.column("replacement"), result.column("loads_with_replica")))
+    # The approximations stay in the same coverage league as true LRU.
+    assert lwr["plru"] > 0.5 * lwr["lru"]
+    assert lwr["random"] > 0.3 * lwr["lru"]

@@ -1,0 +1,25 @@
+"""Ablation — background scrubbing vs error accumulation (extension).
+
+Scrubbing converts latent single-bit faults back into clean state before
+a second strike can pair them into an uncorrectable double.  BaseECC
+benefits most: accumulated doubles are its only loss mode.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_scrubbing
+
+from repro.harness.experiment import run_experiment
+from repro.harness.figures import FigureResult
+
+RATE = 5e-2  # intense, to make accumulation visible in a short run
+
+
+
+
+def test_ablation_scrubbing(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_scrubbing(n=n_instructions))
+    record(result)
+    for _, no_scrub, scrub_10k, scrub_2k in result.rows:
+        assert scrub_2k <= no_scrub
+        assert scrub_10k <= no_scrub + 1  # monotone up to one-event noise

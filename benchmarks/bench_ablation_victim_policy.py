@@ -1,0 +1,15 @@
+"""Ablation — the four victim policies of Section 3.1."""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_victim_policy
+
+
+def test_ablation_victim_policy(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_victim_policy(n=n_instructions))
+    record(result)
+    ability = dict(zip(result.column("policy"), result.column("replication_ability")))
+    # dead-first can only widen the candidate set.
+    assert ability["dead-first"] >= ability["dead-only"]
+    # replica-only cannot bootstrap (no replicas exist to displace).
+    assert ability["replica-only"] == 0.0

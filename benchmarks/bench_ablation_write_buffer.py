@@ -1,0 +1,13 @@
+"""Ablation — write-buffer depth for the write-through dL1 (Section 5.8)."""
+
+from conftest import run_once
+
+from repro.harness.figures import ablation_write_buffer
+
+
+def test_ablation_write_buffer(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: ablation_write_buffer(n=n_instructions))
+    record(result)
+    stalls = result.column("stall_cycles")
+    # Deeper buffers stall (weakly) less.
+    assert stalls[0] >= stalls[-1]

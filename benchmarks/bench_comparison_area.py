@@ -1,0 +1,28 @@
+"""Comparison — storage/leakage cost of each reliability option.
+
+The paper's closing argument (Section 6): ICR needs no additional
+storage, while the alternatives pay in area and leakage.  This bench
+tabulates the exact bit arithmetic.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import comparison_area
+
+from repro.cache.set_assoc import CacheGeometry
+from repro.energy.area import compare_reliability_areas
+from repro.harness.figures import FigureResult
+
+
+
+
+def test_comparison_area(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: comparison_area(n=n_instructions))
+    record(result)
+    fractions = dict(
+        zip(result.column("option"), result.column("fraction_of_dl1"))
+    )
+    assert fractions["ICR (flag + decay counters)"] < 0.01
+    assert all(
+        f > 0.01 for name, f in fractions.items() if not name.startswith("ICR")
+    )

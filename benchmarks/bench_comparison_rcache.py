@@ -1,0 +1,29 @@
+"""Comparison — ICR vs a dedicated Kim & Somani-style R-Cache.
+
+The paper's Section 5.2: "hot data items are getting automatically
+replicated (we do not need a separate cache for achieving this compared
+to that needed by [11])".  This bench measures both sides: duplicate
+coverage of a 2KB dedicated side cache vs ICR's in-cache replicas.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import comparison_rcache
+
+from repro.baselines.rcache import run_rcache_baseline
+from repro.harness.experiment import run_experiment
+from repro.harness.figures import FigureResult
+from repro.workloads.spec2000 import BENCHMARKS
+
+
+
+
+def test_comparison_rcache(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: comparison_rcache(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    icr = averages["icr_loads_with_replica"]
+    rcache = averages["rcache_loads_with_duplicate"]
+    # Same league: ICR within 2x either way of the dedicated cache, at
+    # zero dedicated area.
+    assert icr > 0.4 * rcache

@@ -1,0 +1,17 @@
+"""Figure 1 — replication ability, single vs multiple placement attempts."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_01
+
+
+def test_fig01(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_01(n=n_instructions))
+    record(result)
+    for _, single, multi in result.rows:
+        assert 0.0 <= single <= 1.0
+        # Paper: "the multiple attempt strategy does allow a higher
+        # probability of replicating cache lines."
+        assert multi >= single
+    averages = result.averages()
+    assert averages["multi_attempt"] > averages["single_attempt"]

@@ -1,0 +1,18 @@
+"""Figure 2 — loads with replica, single vs multiple placement attempts."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_01, figure_02
+
+
+def test_fig02(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_02(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: "negligible improvement from multiple attempts" — the gain in
+    # loads-with-replica is far smaller than the gain in raw ability.
+    ability = figure_01(n=n_instructions).averages()
+    ability_gain = ability["multi_attempt"] - ability["single_attempt"]
+    lwr_gain = averages["multi_attempt"] - averages["single_attempt"]
+    assert lwr_gain < ability_gain
+    assert averages["single_attempt"] > 0.4  # hot data replicated regardless

@@ -1,0 +1,15 @@
+"""Figure 3 — ability to create one vs two replicas."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_03
+
+
+def test_fig03(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_03(n=n_instructions))
+    record(result)
+    for _, one, two in result.rows:
+        # Creating both replicas can never be easier than creating one.
+        assert two <= one + 1e-9
+    # Paper: two copies achievable a modest fraction of the time (~12%).
+    assert 0.0 < result.averages()["two_replicas"] < 0.6

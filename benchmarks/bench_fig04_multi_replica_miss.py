@@ -1,0 +1,15 @@
+"""Figure 4 — miss-rate cost of creating a second replica."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_04
+
+
+def test_fig04(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_04(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: "the space taken by these multiple copies can evict more
+    # useful blocks thereby worsening the locality and increasing miss
+    # rates."
+    assert averages["two_replicas"] >= averages["one_replica"]

@@ -1,0 +1,13 @@
+"""Figure 5 — vertical (N/2) vs horizontal (0) replication."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_05
+
+
+def test_fig05(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_05(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: "little difference between these schemes".
+    assert abs(averages["vertical_N/2"] - averages["horizontal_0"]) < 0.25

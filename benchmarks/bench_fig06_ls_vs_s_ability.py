@@ -1,0 +1,12 @@
+"""Figure 6 — replication ability, LS vs S triggers."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_06
+
+
+def test_fig06(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_06(n=n_instructions))
+    record(result)
+    for _, ls, s in result.rows:
+        assert 0.0 <= ls <= 1.0 and 0.0 <= s <= 1.0

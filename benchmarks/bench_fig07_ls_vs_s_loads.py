@@ -1,0 +1,15 @@
+"""Figure 7 — loads with replica, LS vs S triggers."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_07
+
+
+def test_fig07(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_07(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: majority of read hits find replicas; LS replicates read-only
+    # data that S cannot.
+    assert averages["S"] > 0.5
+    assert averages["LS"] >= averages["S"]

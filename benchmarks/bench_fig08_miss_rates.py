@@ -1,0 +1,15 @@
+"""Figure 8 — miss-rate cost of replication (Base vs LS vs S)."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_08
+
+
+def test_fig08(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_08(n=n_instructions))
+    record(result)
+    for _, base, ls, s in result.rows:
+        # Paper: "Both ICR-*(LS) and ICR-*(S) increase the number of dL1
+        # misses", LS more than S.
+        assert s >= base - 1e-9
+        assert ls >= s - 1e-9

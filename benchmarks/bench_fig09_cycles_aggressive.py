@@ -1,0 +1,20 @@
+"""Figure 9 — normalized execution cycles, all ten schemes, aggressive."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_09
+
+
+def test_fig09(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_09(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Ordering claims of Section 5.2.
+    assert averages["BaseP"] == 1.0
+    assert averages["BaseECC"] > averages["ICR-P-PS(S)"]
+    assert averages["ICR-ECC-PS(S)"] > averages["ICR-P-PS(S)"]
+    assert averages["BaseECC"] > averages["ICR-ECC-PS(S)"]
+    # PP schemes pay 2-cycle loads on replicated lines.
+    assert averages["ICR-P-PP(S)"] > averages["ICR-P-PS(S)"]
+    # The headline scheme stays within a few percent of BaseP.
+    assert averages["ICR-P-PS(S)"] < 1.08

@@ -1,0 +1,17 @@
+"""Figure 10 — replication ability / loads-with-replica vs decay window."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_10
+
+
+def test_fig10(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_10(n=n_instructions))
+    record(result)
+    ability = result.column("replication_ability")
+    lwr = result.column("loads_with_replica")
+    # Paper: "the replication ability reduces with an increasing decay
+    # window size ... the corresponding effect on the loads with replicas
+    # is negligible."
+    assert ability[-1] <= ability[0]
+    assert abs(lwr[0] - lwr[-1]) < 0.25

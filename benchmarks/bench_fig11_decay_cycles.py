@@ -1,0 +1,16 @@
+"""Figure 11 — normalized execution cycles vs decay window (vpr)."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_11
+
+
+def test_fig11(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_11(n=n_instructions))
+    record(result)
+    icr_p = result.column("ICR-P-PS(S)")
+    # Paper: larger windows displace fewer live blocks -> cheaper.
+    assert icr_p[-1] <= icr_p[0] + 0.01
+    # "less than 4% for 1000 cycle window size".
+    w1000_index = result.column("decay_window").index(1000)
+    assert icr_p[w1000_index] < 1.06

@@ -1,0 +1,15 @@
+"""Figure 13 — ability and loads-with-replica, window 1000 vs 0."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_13
+
+
+def test_fig13(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_13(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: loads-with-replica is not significantly different between the
+    # two windows (the relaxed run also switches to dead-first, which
+    # recovers placement options).
+    assert abs(averages["lwr_w1000"] - averages["lwr_w0"]) < 0.25

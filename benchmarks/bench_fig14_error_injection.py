@@ -1,0 +1,19 @@
+"""Figure 14 — unrecoverable loads under random fault injection (vortex)."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_14
+
+
+def test_fig14(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_14(n=n_instructions))
+    record(result)
+    for rate, base_p, icr_p, icr_ecc, base_ecc in result.rows:
+        # Paper: "the ICR schemes exhibit much better error resilient
+        # behavior compared to BaseP"; ECC on the unreplicated remainder
+        # is stronger still.
+        assert icr_p <= base_p + 1e-9
+        assert icr_ecc <= icr_p + 1e-9
+    # At the highest rate the separation must be strict.
+    top = result.rows[0]
+    assert top[2] < top[1]

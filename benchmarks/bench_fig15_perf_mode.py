@@ -1,0 +1,17 @@
+"""Figure 15 — replicas left in place serve misses (performance mode)."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_15
+
+
+def test_fig15(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_15(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: ICR-P-PS(S)+leave provides "as good performance as BaseP";
+    # mcf even beats BaseP thanks to replica fills.
+    assert averages["ICR-P-PS(S)+leave"] < 1.03
+    mcf_row = [r for r in result.rows if r[0] == "mcf"][0]
+    assert mcf_row[2] > mcf_row[3] or mcf_row[3] < 1.0  # beats BaseECC at least
+    assert averages["BaseECC"] > averages["ICR-ECC-PS(S)+leave"]

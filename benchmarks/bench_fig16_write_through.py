@@ -1,0 +1,15 @@
+"""Figure 16 — write-through BaseP vs write-back ICR-P-PS(S)."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_16
+
+
+def test_fig16(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_16(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: ICR is faster on average (write-buffer stalls) and the
+    # write-through hierarchy burns much more L1+L2 energy.
+    assert averages["wt_cycles_ratio"] >= 1.0
+    assert averages["wt_energy_ratio"] > 1.3

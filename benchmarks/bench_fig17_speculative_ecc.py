@@ -1,0 +1,15 @@
+"""Figure 17 — speculative-load BaseECC vs performance-mode ICR-P-PS(S)."""
+
+from conftest import run_once
+
+from repro.harness.figures import figure_17
+
+
+def test_fig17(benchmark, record, n_instructions):
+    result = run_once(benchmark, lambda: figure_17(n=n_instructions))
+    record(result)
+    averages = result.averages()
+    # Paper: ICR still wins cycles slightly (replica fills vs plain misses)
+    # and the energy gap grows when parity gets relatively cheaper.
+    assert averages["spec_cycles_ratio"] >= 0.97
+    assert averages["energy_ratio_10_30"] > averages["energy_ratio_15_30"]

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the simulator itself (proper pytest-benchmark use).
+
+These track the throughput of the hot paths — cache accesses, SEC-DED
+encode/decode, pipeline scheduling, trace generation — so performance
+regressions in the substrate are visible independently of the figure
+suite.
+"""
+
+import random
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
+from repro.coding.hamming import decode, encode
+from repro.core.schemes import make_cache
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec2000 import profile_for
+
+
+def test_plain_cache_access_throughput(benchmark):
+    cache = SetAssociativeCache(CacheGeometry(16 * 1024, 4, 64))
+    rng = random.Random(1)
+    addrs = [rng.randrange(1 << 22) & ~7 for _ in range(20_000)]
+
+    def run():
+        for now, addr in enumerate(addrs):
+            cache.access(addr, now & 3 == 0, now)
+
+    benchmark(run)
+
+
+def test_icr_cache_access_throughput(benchmark):
+    cache = make_cache("ICR-P-PS(S)", decay_window=0)
+    rng = random.Random(2)
+    hot = [rng.randrange(1 << 20) & ~7 for _ in range(128)]
+    addrs = [
+        rng.choice(hot) if rng.random() < 0.8 else rng.randrange(1 << 22) & ~7
+        for _ in range(20_000)
+    ]
+
+    def run():
+        for now, addr in enumerate(addrs):
+            cache.access(addr, now & 3 == 0, now)
+
+    benchmark(run)
+
+
+def test_secded_encode_throughput(benchmark):
+    words = [((i * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)) for i in range(2_000)]
+    benchmark(lambda: [encode(w) for w in words])
+
+
+def test_secded_decode_throughput(benchmark):
+    codewords = [
+        encode((i * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)) for i in range(2_000)
+    ]
+    benchmark(lambda: [decode(c) for c in codewords])
+
+
+def test_pipeline_throughput(benchmark):
+    trace = WorkloadGenerator(profile_for("gzip")).generate(30_000)
+
+    def run():
+        pipeline = OutOfOrderPipeline(MemoryHierarchy(make_cache("BaseP")))
+        return pipeline.run(trace).cycles
+
+    benchmark(run)
+
+
+def test_trace_generation_throughput(benchmark):
+    generator = WorkloadGenerator(profile_for("gcc"))
+    benchmark(lambda: generator.generate(30_000))

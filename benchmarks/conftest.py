@@ -1,0 +1,45 @@
+"""Shared fixtures for the figure-reproduction benchmark suite.
+
+Every ``bench_fig*.py`` module regenerates one figure of the paper via
+:mod:`repro.harness.figures`, records the table under
+``benchmarks/results/`` and asserts the figure's *shape* (who wins, in
+which direction).  Timing is collected with pytest-benchmark in a single
+round — the interesting output is the table, not the wall-clock.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Trace length used by the figure benchmarks.  Large enough for stable
+#: metrics (see tests/test_integration_convergence.py), small enough that
+#: the whole suite finishes in minutes.
+BENCH_INSTRUCTIONS = 60_000
+
+
+@pytest.fixture
+def record():
+    """Persist a FigureResult table and echo it to the terminal."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        stem = result.figure_id.replace(" ", "").lower()
+        table = result.to_table()
+        (RESULTS_DIR / f"{stem}.txt").write_text(table + "\n")
+        (RESULTS_DIR / f"{stem}.json").write_text(result.to_json() + "\n")
+        print("\n" + table)
+        return result
+
+    return _record
+
+
+@pytest.fixture
+def n_instructions():
+    return BENCH_INSTRUCTIONS
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

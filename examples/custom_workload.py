@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Evaluate ICR on your own workload: build a profile, sweep the schemes.
+
+The synthetic workload generator is a public API: any memory behaviour
+expressible as {hot-set size/skew, streaming, pointer chasing, stack, write
+mix, branch predictability} can be evaluated against every dL1 scheme.
+This example models a small key-value store: a hot index (read-mostly),
+a value heap with poor locality, and a log that is write-only streaming.
+
+    python examples/custom_workload.py
+"""
+
+import os
+
+from repro import run_experiment
+from repro.harness.report import format_table
+from repro.workloads.generator import WorkloadProfile
+
+kv_store = WorkloadProfile(
+    name="kvstore",
+    body_size=1024,
+    segment_length=128,
+    mem_fraction=0.40,
+    store_ratio=0.35,  # log writes + value updates
+    branch_fraction=0.15,
+    # Regions: hot index, streamed log, uniformly accessed value heap.
+    p_hot=0.45,
+    p_stream=0.20,
+    p_chase=0.15,
+    p_stack=0.20,
+    hot_blocks=120,
+    zipf_s=1.0,
+    hot_set_fraction=0.5,
+    hot_readonly_fraction=0.5,  # the index is read-mostly
+    chase_region_blocks=65536,  # 4MB value heap
+    branch_predictability=0.90,
+    seed=2024,
+)
+
+SCHEMES = ("BaseP", "BaseECC", "ICR-P-PS(S)", "ICR-P-PS(LS)", "ICR-ECC-PS(S)")
+
+
+def main() -> None:
+    rows = []
+    base_cycles = None
+    for scheme in SCHEMES:
+        kwargs = {} if scheme.startswith("Base") else {"decay_window": 1000}
+        r = run_experiment(kv_store, scheme, n_instructions=int(os.environ.get("REPRO_EXAMPLE_N", 120_000)), **kwargs)
+        if base_cycles is None:
+            base_cycles = r.cycles
+        rows.append(
+            [
+                scheme,
+                r.cycles / base_cycles,
+                r.miss_rate,
+                r.loads_with_replica,
+                r.energy.total_nj / 1e3,
+            ]
+        )
+    print("Synthetic key-value store on the Table 1 machine\n")
+    print(
+        format_table(
+            ["scheme", "norm_cycles", "miss_rate", "loads_w_replica", "energy_uJ"],
+            rows,
+        )
+    )
+    print(
+        "\nBecause the index is read-mostly (hot_readonly_fraction=0.5), the\n"
+        "S trigger protects only the written half — LS closes that gap by\n"
+        "replicating at fill time, at a higher miss-rate cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A guided tour of the paper's argument, reproduced live.
+
+Runs the minimum set of experiments that carries the DSN 2003 paper's
+narrative end to end and explains each step.  Takes a couple of minutes.
+
+    python examples/paper_tour.py
+"""
+
+import os
+
+from repro import run_experiment
+from repro.core.config import VictimPolicy
+from repro.harness.report import bar_chart, percent
+
+N = int(os.environ.get("REPRO_EXAMPLE_N", 100_000))
+RELAXED = dict(decay_window=1000, victim_policy=VictimPolicy.DEAD_FIRST)
+
+
+def step(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    step("1. The dilemma: parity is fast but can't correct; ECC corrects "
+         "but slows every load (paper Section 1)")
+    base_p = run_experiment("gzip", "BaseP", n_instructions=N)
+    base_ecc = run_experiment("gzip", "BaseECC", n_instructions=N)
+    print(
+        f"BaseP   : CPI {base_p.cpi:.3f}  (1-cycle parity loads, but a flipped\n"
+        f"          bit in dirty data is lost forever)\n"
+        f"BaseECC : CPI {base_ecc.cpi:.3f}  "
+        f"(+{(base_ecc.cycles / base_p.cycles - 1) * 100:.1f}% cycles for the "
+        f"2-cycle SEC-DED verification)"
+    )
+
+    step("2. The idea: dead lines are free space — replicate live data "
+         "into them (Sections 2-3)")
+    icr = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=N, **RELAXED)
+    print(
+        f"ICR-P-PS(S): CPI {icr.cpi:.3f}  "
+        f"(+{(icr.cycles / base_p.cycles - 1) * 100:.1f}% over BaseP)\n"
+        f"  replication ability : {percent(icr.replication_ability)} of attempts\n"
+        f"  loads with replica  : {percent(icr.loads_with_replica)} of read hits\n"
+        "  -> the hot data everyone reads is exactly the data that got"
+        " replicated."
+    )
+
+    step("3. The reliability payoff (Section 5.5, Figure 14): inject faults")
+    rows = []
+    for scheme, kwargs in (
+        ("BaseP", {}),
+        ("ICR-P-PS(S)", RELAXED),
+        ("ICR-ECC-PS(S)", RELAXED),
+        ("BaseECC", {}),
+    ):
+        r = run_experiment(
+            "vortex", scheme, n_instructions=max(N // 2, 10_000), error_rate=1e-2, **kwargs
+        )
+        rows.append((scheme, r.dl1["load_errors_unrecoverable"]))
+    print(bar_chart([s for s, _ in rows], [v for _, v in rows], unit=" lost"))
+    print("ICR recovers most of what parity alone loses; ECC variants lose"
+          " almost nothing.")
+
+    step("4. The performance twist (Section 5.6, Figure 15): leave replicas "
+         "behind and they serve misses")
+    base_mcf = run_experiment("mcf", "BaseP", n_instructions=N)
+    icr_leave = run_experiment(
+        "mcf", "ICR-P-PS(S)", n_instructions=N,
+        leave_replicas_on_evict=True, **RELAXED,
+    )
+    print(
+        f"mcf: ICR-P-PS(S)+leave runs at "
+        f"{icr_leave.cycles / base_mcf.cycles:.3f}x BaseP cycles\n"
+        f"     ({icr_leave.dl1['replica_fills']} misses served from leftover"
+        f" replicas at 2 cycles instead of L2)"
+    )
+
+    step("5. The verdict (Section 6)")
+    print(
+        "ICR-P-PS(S): parity-class performance, replica-class recovery.\n"
+        "ICR-ECC-PS(S): ECC-class protection at a fraction of its cost.\n"
+        "All with ~0.6% metadata overhead — no dedicated arrays."
+    )
+
+
+if __name__ == "__main__":
+    main()

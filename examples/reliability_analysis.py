@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Analytical reliability: exposure census, AVF and MTTF per scheme.
+
+Complements the paper's fault-injection experiment (Figure 14) with the
+analytical view: how much of the cache, integrated over time, sits in the
+state where a single-bit flip is *unrecoverable* (dirty + parity-only +
+no replica)?  That fraction predicts the injection results and yields an
+MTTF estimate at any assumed raw fault rate.
+
+    python examples/reliability_analysis.py [benchmark]
+"""
+
+import os
+import sys
+
+from repro import run_experiment
+from repro.core.config import VictimPolicy
+from repro.harness.report import format_table, percent
+from repro.reliability import fit_consumption_factor, predicted_unrecoverable_rate
+
+N_INSTRUCTIONS = int(os.environ.get("REPRO_EXAMPLE_N", 60_000))
+#: An (unrealistically high, as in the paper) raw fault rate for contrast,
+#: and a more realistic one for the MTTF column.
+DEMO_RATE = 1e-2
+REALISTIC_RATE = 1e-12  # per cycle over the whole array
+
+RELAXED = dict(decay_window=1000, victim_policy=VictimPolicy.DEAD_FIRST)
+SCHEMES = (
+    ("BaseP", {}),
+    ("ICR-P-PS(S)", RELAXED),
+    ("ICR-ECC-PS(S)", RELAXED),
+    ("BaseECC", {}),
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "vortex"
+    rows = []
+    for scheme, kwargs in SCHEMES:
+        analytic = run_experiment(
+            benchmark,
+            scheme,
+            n_instructions=N_INSTRUCTIONS,
+            measure_vulnerability=True,
+            **kwargs,
+        )
+        injected = run_experiment(
+            benchmark,
+            scheme,
+            n_instructions=N_INSTRUCTIONS,
+            error_rate=DEMO_RATE,
+            **kwargs,
+        )
+        report = analytic.vulnerability
+        estimate = predicted_unrecoverable_rate(report, REALISTIC_RATE)
+        factor = fit_consumption_factor(
+            errors_injected=injected.dl1["errors_injected"],
+            unrecoverable=injected.dl1["load_errors_unrecoverable"],
+            vulnerable_fraction=report.vulnerable_fraction,
+        )
+        mttf = estimate.mttf_seconds(1e9)
+        rows.append(
+            [
+                scheme,
+                percent(report.vulnerable_fraction),
+                percent(report.summary()["safe_replica"]),
+                injected.dl1["load_errors_unrecoverable"],
+                f"{factor:.2f}",
+                "inf" if mttf == float("inf") else f"{mttf / 3600:.1e}h",
+            ]
+        )
+    print(
+        f"Reliability analysis on '{benchmark}' "
+        f"({N_INSTRUCTIONS:,} instructions)\n"
+    )
+    print(
+        format_table(
+            [
+                "scheme",
+                "AVF(vulnerable)",
+                "replica-protected",
+                f"unrecov@{DEMO_RATE}",
+                "consumption",
+                f"MTTF@{REALISTIC_RATE}/cyc",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe AVF column is the analytical prediction; the injection column\n"
+        "is the empirical measurement at an intense rate — the ordering\n"
+        "matches (paper Figure 14).  BaseECC and ICR-ECC never lose data to\n"
+        "single-bit faults; ICR-P shrinks BaseP's exposure by moving dirty\n"
+        "data under replicas without ECC's 2-cycle loads."
+    )
+
+
+if __name__ == "__main__":
+    main()

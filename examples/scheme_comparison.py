@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compare all ten dL1 schemes of the paper on a set of benchmarks.
+
+Reproduces the Figure 9 / Figure 12 view: normalized execution cycles,
+miss rates and loads-with-replica for every scheme, under either the
+aggressive (window 0, dead-only) or relaxed (window 1000, dead-first)
+dead-block configuration.
+
+    python examples/scheme_comparison.py [--relaxed] [bench ...]
+"""
+
+import os
+import sys
+
+from repro import ALL_SCHEMES, run_experiment
+from repro.harness.figures import AGGRESSIVE, RELAXED
+from repro.harness.report import format_table
+from repro.workloads.spec2000 import BENCHMARKS
+
+N_INSTRUCTIONS = int(os.environ.get("REPRO_EXAMPLE_N", 120_000))
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    relaxed = "--relaxed" in args
+    benches = [a for a in args if not a.startswith("--")] or ["gzip", "mcf", "vpr"]
+    knobs = RELAXED if relaxed else AGGRESSIVE
+    mode = "relaxed (window 1000, dead-first)" if relaxed else "aggressive (window 0, dead-only)"
+    print(f"Dead-block prediction: {mode}")
+
+    for bench in benches:
+        if bench not in BENCHMARKS:
+            raise SystemExit(f"unknown benchmark {bench!r}; choose from {BENCHMARKS}")
+        rows = []
+        base_cycles = None
+        for scheme in ALL_SCHEMES:
+            kwargs = {} if scheme.startswith("Base") else knobs
+            r = run_experiment(bench, scheme, n_instructions=N_INSTRUCTIONS, **kwargs)
+            if base_cycles is None:
+                base_cycles = r.cycles
+            rows.append(
+                [
+                    scheme,
+                    r.cycles / base_cycles,
+                    r.miss_rate,
+                    r.loads_with_replica,
+                    r.replication_ability,
+                ]
+            )
+        print(f"\n=== {bench} ===")
+        print(
+            format_table(
+                ["scheme", "norm_cycles", "miss_rate", "loads_w_replica", "ability"],
+                rows,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Software-controlled replication — the paper's Section 6 future work.
+
+The paper closes with: "we plan to explore controlling replication using
+software mechanisms that can direct how many replicas are needed for each
+line, when such replication should be initiated, and what blocks should
+not be replicated."  This example drives exactly that interface.
+
+Scenario: a program with a *critical* hot region (checkpoint state whose
+loss is unacceptable), a normal heap, and scratch buffers whose loss is
+harmless.  Software tells the cache:
+
+* checkpoint state — two replicas, created eagerly at fill time;
+* scratch region  — never replicate (don't waste dead space on it).
+
+    python examples/software_hints.py
+"""
+
+import os
+
+from repro import run_experiment
+from repro.core.config import variant
+from repro.core.hints import ReplicationHints
+from repro.core.schemes import make_config
+from repro.harness.report import format_table, percent
+from repro.workloads.generator import HOT_BASE, STREAM_BASE
+
+N_INSTRUCTIONS = int(os.environ.get("REPRO_EXAMPLE_N", 120_000))
+
+# Address-space carve-up of the synthetic workload (see repro.workloads):
+# the first 64 hot blocks are the "checkpoint" state; the stream region is
+# the scratch data.
+CHECKPOINT = (HOT_BASE, HOT_BASE + 64 * 64)
+SCRATCH = (STREAM_BASE, STREAM_BASE + (1 << 28))
+
+
+def main() -> None:
+    base_config = make_config("ICR-P-PS(S)", decay_window=1000)
+    hints = (
+        ReplicationHints()
+        .replicas(*CHECKPOINT, 2)
+        .eager(*CHECKPOINT)
+        .never(*SCRATCH)
+    )
+    hinted_config = variant(base_config, hints=hints, name="ICR-P-PS(S)+hints")
+
+    print("Software directives:")
+    print(hints.describe())
+    print()
+
+    rows = []
+    for config in (base_config, hinted_config):
+        r = run_experiment("gzip", config, n_instructions=N_INSTRUCTIONS)
+        d = r.dl1
+        rows.append(
+            [
+                config.name,
+                percent(r.loads_with_replica),
+                d["replication_attempts"],
+                d["second_replica_successes"],
+                percent(r.miss_rate),
+                f"{r.cpi:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "config",
+                "loads_w_replica",
+                "attempts",
+                "2nd_replicas",
+                "miss_rate",
+                "CPI",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe hinted run spends its dead space where software says it\n"
+        "matters: the checkpoint region is double-replicated from the moment\n"
+        "it is filled, and scratch data no longer competes for replica homes."
+    )
+
+
+if __name__ == "__main__":
+    main()

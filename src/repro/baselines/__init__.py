@@ -1,0 +1,25 @@
+"""Baselines the paper compares against conceptually or directly."""
+
+from repro.baselines.rcache import (
+    RCache,
+    RCacheResult,
+    RCacheStats,
+    run_rcache_baseline,
+)
+from repro.baselines.victim_cache import (
+    VictimCache,
+    VictimCacheResult,
+    VictimCacheStats,
+    run_victim_cache_baseline,
+)
+
+__all__ = [
+    "RCache",
+    "RCacheResult",
+    "RCacheStats",
+    "run_rcache_baseline",
+    "VictimCache",
+    "VictimCacheResult",
+    "VictimCacheStats",
+    "run_victim_cache_baseline",
+]

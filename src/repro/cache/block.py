@@ -1,0 +1,122 @@
+"""Cache-line state.
+
+A block models one cache line (64 bytes in the paper's dL1/L2).  Besides the
+usual valid/dirty/tag state it carries the fields ICR needs:
+
+* ``is_replica`` — the paper's extra per-line bit distinguishing a replica
+  from a primary copy (Section 3.1, "Where do we replicate?");
+* ``replica_refs`` / ``primary_ref`` — bookkeeping links between a primary
+  and its replicas (hardware finds replicas by recomputing distance-k; the
+  simulator keeps explicit links for speed and assertions);
+* ``last_access_cycle`` — input to the dead-block predictor;
+* ``words`` / ``golden`` — optional bit-accurate storage used by
+  fault-injection runs: ``words`` holds the protected (possibly corrupted)
+  cells, ``golden`` the values that *should* be there, so silent data
+  corruption is observable by the simulator even when no code detects it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coding.protection import ProtectedWord, ProtectionKind
+
+WORDS_PER_BLOCK_DEFAULT = 8  # 64-byte line = eight 64-bit words
+
+
+class CacheBlock:
+    """One cache line and its simulator-side metadata."""
+
+    __slots__ = (
+        "block_addr",
+        "valid",
+        "dirty",
+        "is_replica",
+        "lru_stamp",
+        "last_access_cycle",
+        "replica_refs",
+        "primary_ref",
+        "protection",
+        "words",
+        "golden",
+    )
+
+    def __init__(self) -> None:
+        self.invalidate()
+        self.lru_stamp = 0
+
+    def invalidate(self) -> None:
+        """Reset to the empty state (links must be severed by the caller)."""
+        self.block_addr: int = -1
+        self.valid: bool = False
+        self.dirty: bool = False
+        self.is_replica: bool = False
+        self.last_access_cycle: int = 0
+        self.replica_refs: list["CacheBlock"] = []
+        self.primary_ref: Optional["CacheBlock"] = None
+        self.protection: ProtectionKind = ProtectionKind.PARITY
+        self.words: Optional[list[ProtectedWord]] = None
+        self.golden: Optional[list[int]] = None
+
+    def fill(
+        self,
+        block_addr: int,
+        now: int,
+        *,
+        is_replica: bool = False,
+        dirty: bool = False,
+    ) -> None:
+        """Install a new line, replacing whatever was here."""
+        self.block_addr = block_addr
+        self.valid = True
+        self.dirty = dirty
+        self.is_replica = is_replica
+        self.last_access_cycle = now
+        self.replica_refs = []
+        self.primary_ref = None
+        self.words = None
+        self.golden = None
+
+    def touch(self, now: int) -> None:
+        """Record a demand access (resets the decay counter)."""
+        if now > self.last_access_cycle:
+            self.last_access_cycle = now
+
+    @property
+    def has_replica(self) -> bool:
+        return bool(self.replica_refs)
+
+    # -- bit-accurate storage (fault-injection runs only) -----------------
+
+    def materialize_words(self, kind: ProtectionKind, values: list[int]) -> None:
+        """Create bit-accurate word storage holding *values*."""
+        self.protection = kind
+        self.words = [ProtectedWord(kind, v) for v in values]
+        self.golden = list(values)
+
+    def write_word(self, index: int, value: int) -> None:
+        """Store a new value into one word (regenerating its check bits)."""
+        if self.words is None:
+            raise RuntimeError("block has no materialized words")
+        self.words[index].write(value)
+        self.golden[index] = value
+
+    def reprotect(self, kind: ProtectionKind) -> None:
+        """Re-encode all words under a new protection kind.
+
+        ICR-ECC schemes keep unreplicated lines under SEC-DED but treat the
+        8 check bits as byte parity once the line gains a replica.  The
+        recompute runs over the *current* (possibly corrupted) data, so a
+        latent error present at switch time is silently locked in — exactly
+        as the hardware recompute would do.
+        """
+        self.protection = kind
+        if self.words is not None:
+            self.words = [ProtectedWord(kind, w.raw_data) for w in self.words]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.valid:
+            return "CacheBlock(invalid)"
+        role = "replica" if self.is_replica else "primary"
+        flags = "D" if self.dirty else "-"
+        return f"CacheBlock(addr={self.block_addr:#x}, {role}, {flags})"

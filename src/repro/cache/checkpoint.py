@@ -1,0 +1,108 @@
+"""Cache-state checkpointing: snapshot and restore a cache's contents.
+
+Long sweeps repeat the same warm-up over and over; a checkpoint taken
+after warm-up lets every configuration start from an identical warm state
+(as SimpleScalar's EIO checkpoints did for the paper's runs).  Snapshots
+capture the architectural content — which lines are resident, their
+role/dirty state, recency and links — but not bit-accurate word storage
+(fault-injection runs re-materialize words on demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class _LineState:
+    block_addr: int
+    dirty: bool
+    is_replica: bool
+    lru_stamp: int
+    last_access_cycle: int
+    # Replica links by (set, way) coordinates, resolved at restore time.
+    replica_locs: tuple[tuple[int, int], ...] = ()
+    primary_loc: Optional[tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class CacheCheckpoint:
+    """An immutable snapshot of one cache's contents."""
+
+    n_sets: int
+    associativity: int
+    lines: dict[tuple[int, int], _LineState] = field(default_factory=dict)
+
+    @property
+    def valid_lines(self) -> int:
+        return len(self.lines)
+
+
+def take_checkpoint(cache: SetAssociativeCache) -> CacheCheckpoint:
+    """Snapshot *cache* (plain or ICR)."""
+    coords: dict[int, tuple[int, int]] = {}  # id(block) -> (set, way)
+    for set_index, ways in enumerate(cache.sets):
+        for way, block in enumerate(ways):
+            coords[id(block)] = (set_index, way)
+    lines: dict[tuple[int, int], _LineState] = {}
+    for set_index, way, block in cache.iter_valid_blocks():
+        replica_locs = tuple(
+            coords[id(r)] for r in block.replica_refs if id(r) in coords
+        )
+        primary_loc = (
+            coords.get(id(block.primary_ref))
+            if block.primary_ref is not None
+            else None
+        )
+        lines[(set_index, way)] = _LineState(
+            block_addr=block.block_addr,
+            dirty=block.dirty,
+            is_replica=block.is_replica,
+            lru_stamp=block.lru_stamp,
+            last_access_cycle=block.last_access_cycle,
+            replica_locs=replica_locs,
+            primary_loc=primary_loc,
+        )
+    return CacheCheckpoint(
+        n_sets=cache.geometry.n_sets,
+        associativity=cache.geometry.associativity,
+        lines=lines,
+    )
+
+
+def restore_checkpoint(cache: SetAssociativeCache, checkpoint: CacheCheckpoint) -> None:
+    """Load *checkpoint* into *cache* (must have the same shape)."""
+    if (
+        cache.geometry.n_sets != checkpoint.n_sets
+        or cache.geometry.associativity != checkpoint.associativity
+    ):
+        raise ValueError("checkpoint shape does not match the cache geometry")
+    # Wipe.
+    for ways in cache.sets:
+        for block in ways:
+            block.invalidate()
+    # First pass: contents.
+    max_stamp = 0
+    for (set_index, way), state in checkpoint.lines.items():
+        block = cache.sets[set_index][way]
+        block.fill(
+            state.block_addr,
+            state.last_access_cycle,
+            is_replica=state.is_replica,
+            dirty=state.dirty,
+        )
+        block.lru_stamp = state.lru_stamp
+        max_stamp = max(max_stamp, state.lru_stamp)
+    # Second pass: links.
+    for (set_index, way), state in checkpoint.lines.items():
+        block = cache.sets[set_index][way]
+        if state.primary_loc is not None:
+            ps, pw = state.primary_loc
+            block.primary_ref = cache.sets[ps][pw]
+        for rs, rw in state.replica_locs:
+            block.replica_refs.append(cache.sets[rs][rw])
+    # Keep future touches ahead of restored stamps.
+    cache._lru_clock = max(cache._lru_clock, max_stamp)

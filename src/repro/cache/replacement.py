@@ -1,0 +1,160 @@
+"""Replacement policies for the set-associative substrate.
+
+The paper's caches are true-LRU ("we simply use the normal LRU
+mechanism"), which stays the default everywhere.  Real L1s often
+approximate LRU; these variants let the ablation benchmarks check how
+sensitive ICR's behaviour is to the underlying replacement policy:
+
+* ``lru``    — true LRU via per-line stamps (default, paper-faithful);
+* ``fifo``   — evict the oldest *fill*, ignoring hits;
+* ``random`` — pseudo-random victim (deterministic LCG, reproducible);
+* ``plru``   — tree pseudo-LRU, the common hardware approximation.
+
+A policy answers two questions: which way to victimize, and what to do
+when a line is touched.  All policies fill invalid ways first.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.cache.block import CacheBlock
+
+
+class ReplacementPolicy(Protocol):
+    name: str
+
+    def victim_way(self, set_index: int, ways: Sequence[CacheBlock]) -> int: ...
+
+    def on_touch(self, set_index: int, way: int) -> None: ...
+
+
+def _first_invalid(ways: Sequence[CacheBlock]) -> int | None:
+    for way, block in enumerate(ways):
+        if not block.valid:
+            return way
+    return None
+
+
+class TrueLRU:
+    """Stamp-based exact LRU (stamps are maintained by the cache)."""
+
+    name = "lru"
+
+    def victim_way(self, set_index: int, ways: Sequence[CacheBlock]) -> int:
+        invalid = _first_invalid(ways)
+        if invalid is not None:
+            return invalid
+        return min(range(len(ways)), key=lambda w: ways[w].lru_stamp)
+
+    def on_touch(self, set_index: int, way: int) -> None:
+        pass  # stamps carry the state
+
+
+class FIFO:
+    """Evict in fill order; hits do not refresh a line's position."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._fill_stamp: dict[tuple[int, int], int] = {}
+        self._clock = 0
+
+    def victim_way(self, set_index: int, ways: Sequence[CacheBlock]) -> int:
+        invalid = _first_invalid(ways)
+        if invalid is not None:
+            way = invalid
+        else:
+            way = min(
+                range(len(ways)),
+                key=lambda w: self._fill_stamp.get((set_index, w), 0),
+            )
+        self._clock += 1
+        self._fill_stamp[(set_index, way)] = self._clock
+        return way
+
+    def on_touch(self, set_index: int, way: int) -> None:
+        pass  # FIFO ignores touches
+
+
+class RandomReplacement:
+    """Deterministic pseudo-random victim (64-bit LCG)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0x5DEECE66D) -> None:
+        self._state = seed & ((1 << 64) - 1)
+
+    def _next(self) -> int:
+        self._state = (self._state * 6364136223846793005 + 1442695040888963407) & (
+            (1 << 64) - 1
+        )
+        return self._state >> 33
+
+    def victim_way(self, set_index: int, ways: Sequence[CacheBlock]) -> int:
+        invalid = _first_invalid(ways)
+        if invalid is not None:
+            return invalid
+        return self._next() % len(ways)
+
+    def on_touch(self, set_index: int, way: int) -> None:
+        pass
+
+
+class TreePLRU:
+    """Tree pseudo-LRU: one decision bit per internal node.
+
+    For ``w`` (power-of-two) ways each set keeps ``w - 1`` bits arranged
+    as a binary tree; a touch flips the path bits away from the touched
+    way, and the victim walk follows the bits toward the pseudo-least-
+    recently-used leaf.
+    """
+
+    name = "plru"
+
+    def __init__(self, n_ways: int) -> None:
+        if n_ways <= 0 or n_ways & (n_ways - 1):
+            raise ValueError("tree PLRU needs a power-of-two way count")
+        self.n_ways = n_ways
+        self._bits: dict[int, list[bool]] = {}
+
+    def _tree(self, set_index: int) -> list[bool]:
+        tree = self._bits.get(set_index)
+        if tree is None:
+            tree = [False] * (self.n_ways - 1)
+            self._bits[set_index] = tree
+        return tree
+
+    def victim_way(self, set_index: int, ways: Sequence[CacheBlock]) -> int:
+        invalid = _first_invalid(ways)
+        if invalid is not None:
+            return invalid
+        tree = self._tree(set_index)
+        node = 0
+        while node < len(tree):
+            node = 2 * node + (2 if tree[node] else 1)
+        return node - len(tree)
+
+    def on_touch(self, set_index: int, way: int) -> None:
+        tree = self._tree(set_index)
+        # Walk from the leaf up, pointing each node away from `way`.
+        node = way + len(tree)
+        while node > 0:
+            parent = (node - 1) // 2
+            tree[parent] = node == 2 * parent + 1  # point at the other child
+            node = parent
+
+
+def make_replacement_policy(name: str, n_ways: int) -> ReplacementPolicy:
+    """Instantiate a policy by name."""
+    if name == "lru":
+        return TrueLRU()
+    if name == "fifo":
+        return FIFO()
+    if name == "random":
+        return RandomReplacement()
+    if name == "plru":
+        return TreePLRU(n_ways)
+    raise ValueError(
+        f"unknown replacement policy {name!r}; choose lru/fifo/random/plru"
+    )

@@ -1,0 +1,161 @@
+"""Command-line interface: run experiments and figures from the shell.
+
+Installed as the ``repro-icr`` console script::
+
+    repro-icr list
+    repro-icr run gzip "ICR-P-PS(S)" --instructions 100000
+    repro-icr run vortex BaseP --error-rate 1e-2
+    repro-icr compare mcf --relaxed
+    repro-icr figure fig09 --instructions 40000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import VictimPolicy
+from repro.core.schemes import ALL_SCHEMES
+from repro.harness.experiment import run_experiment
+from repro.harness.figures import AGGRESSIVE, ALL_FIGURES, RELAXED
+from repro.harness.report import format_table, percent
+from repro.workloads.spec2000 import BENCHMARKS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-icr",
+        description="ICR (DSN 2003) reproduction: simulate dL1 schemes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, schemes and figures")
+
+    run = sub.add_parser("run", help="run one (benchmark, scheme) experiment")
+    run.add_argument("benchmark", choices=BENCHMARKS)
+    run.add_argument("scheme")
+    run.add_argument("--instructions", type=int, default=100_000)
+    run.add_argument("--decay-window", type=int, default=None)
+    run.add_argument(
+        "--victim",
+        choices=[p.value for p in VictimPolicy],
+        default=None,
+    )
+    run.add_argument("--leave-replicas", action="store_true")
+    run.add_argument("--error-rate", type=float, default=0.0)
+    run.add_argument(
+        "--error-model",
+        choices=["random", "direct", "adjacent", "column"],
+        default="random",
+    )
+    run.add_argument("--vulnerability", action="store_true")
+
+    compare = sub.add_parser("compare", help="run all ten schemes on a benchmark")
+    compare.add_argument("benchmark", choices=BENCHMARKS)
+    compare.add_argument("--instructions", type=int, default=100_000)
+    compare.add_argument(
+        "--relaxed",
+        action="store_true",
+        help="decay window 1000 + dead-first (Section 5.4) instead of aggressive",
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("figure_id", choices=sorted(ALL_FIGURES))
+    figure.add_argument("--instructions", type=int, default=60_000)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("benchmarks:", ", ".join(BENCHMARKS))
+    print("schemes   :", ", ".join(ALL_SCHEMES))
+    print("           plus: BaseECC-spec, BaseP-WT")
+    print("figures   :", ", ".join(sorted(ALL_FIGURES)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.decay_window is not None:
+        kwargs["decay_window"] = args.decay_window
+    if args.victim is not None:
+        kwargs["victim_policy"] = VictimPolicy(args.victim)
+    if args.leave_replicas:
+        kwargs["leave_replicas_on_evict"] = True
+    result = run_experiment(
+        args.benchmark,
+        args.scheme,
+        n_instructions=args.instructions,
+        error_rate=args.error_rate,
+        error_model=args.error_model,
+        measure_vulnerability=args.vulnerability,
+        **kwargs,
+    )
+    print(f"{result.scheme} on {result.benchmark} ({result.instructions:,} instr)")
+    print(f"  cycles            : {result.cycles:,} (CPI {result.cpi:.3f})")
+    print(f"  dL1 miss rate     : {percent(result.miss_rate)}")
+    print(f"  replication able  : {percent(result.replication_ability)}")
+    print(f"  loads w/ replica  : {percent(result.loads_with_replica)}")
+    print(f"  L1+L2 energy      : {result.energy.total_nj / 1e3:.1f} uJ")
+    if args.error_rate > 0:
+        d = result.dl1
+        print(
+            f"  faults            : {d['errors_injected']} injected, "
+            f"{d['load_errors_detected']} detected, "
+            f"{d['load_errors_unrecoverable']} unrecoverable"
+        )
+    if result.vulnerability is not None:
+        print(
+            f"  AVF (vulnerable)  : {percent(result.vulnerability.vulnerable_fraction)}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    knobs = RELAXED if args.relaxed else AGGRESSIVE
+    rows = []
+    base_cycles: Optional[int] = None
+    for scheme in ALL_SCHEMES:
+        extra = {} if scheme.startswith("Base") else knobs
+        r = run_experiment(
+            args.benchmark, scheme, n_instructions=args.instructions, **extra
+        )
+        if base_cycles is None:
+            base_cycles = r.cycles
+        rows.append(
+            [scheme, r.cycles / base_cycles, r.miss_rate, r.loads_with_replica]
+        )
+    print(
+        format_table(
+            ["scheme", "norm_cycles", "miss_rate", "loads_w_replica"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fn = ALL_FIGURES[args.figure_id]
+    result = fn(n=args.instructions)
+    print(result.to_table())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+    except BrokenPipeError:  # e.g. `repro-icr list | head`
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Error-protection codes used by the cache schemes.
+
+* :mod:`repro.coding.parity` — byte-granularity even parity (detect only).
+* :mod:`repro.coding.hamming` — (72, 64) Hamming SEC-DED (correct 1, detect 2).
+* :mod:`repro.coding.protection` — policy layer tying codes to latencies and
+  energy costs.
+"""
+
+from repro.coding.hamming import DecodeResult, DecodeStatus, EccWord, decode, encode
+from repro.coding.parity import ParityWord, byte_parity_bits, check_parity
+from repro.coding.protection import (
+    CheckOutcome,
+    ProtectedWord,
+    ProtectionKind,
+    protection_energy_fraction,
+)
+
+__all__ = [
+    "DecodeResult",
+    "DecodeStatus",
+    "EccWord",
+    "decode",
+    "encode",
+    "ParityWord",
+    "byte_parity_bits",
+    "check_parity",
+    "CheckOutcome",
+    "ProtectedWord",
+    "ProtectionKind",
+    "protection_energy_fraction",
+]

@@ -1,0 +1,176 @@
+"""(72, 64) Hamming SEC-DED code — the "8-bit SEC-DED at 64-bit granularity".
+
+This is the heavy-weight protection option of the paper: every 64-bit word
+carries 8 check bits (12.5% storage overhead, same as byte parity) but the
+code can *correct* any single-bit error and *detect* any double-bit error.
+The price is the slower check — a SEC-DED verification cannot complete
+within the single-cycle load path of a GHz-class processor, so ECC-protected
+loads are modeled as 2 cycles throughout the paper.
+
+The construction is the classic extended Hamming code: 7 Hamming check bits
+sit at the power-of-two positions of a 71-bit codeword, and an eighth
+overall-parity bit extends single-error-correction to double-error-detection.
+
+Decoding outcomes (:class:`DecodeStatus`):
+
+* ``OK`` — no error.
+* ``CORRECTED`` — exactly one bit flipped; the decoder repaired it.
+* ``DETECTED`` — an even number (>= 2) of flips; detected, not correctable.
+* ``MISCORRECTED`` is not an explicit status: >= 3 flips may alias onto a
+  valid or singly-flipped codeword, the fundamental SEC-DED limitation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+DATA_BITS = 64
+CHECK_BITS = 8  # 7 Hamming bits + 1 overall parity bit
+CODEWORD_BITS = DATA_BITS + CHECK_BITS  # 72
+_DATA_MASK = (1 << DATA_BITS) - 1
+
+# Codeword layout: positions 1..71 form the (71, 64) Hamming code; check
+# bits live at positions 1, 2, 4, 8, 16, 32, 64 and data bits fill the rest
+# in increasing position order.  Position 0 holds the overall parity of
+# positions 1..71, giving the extended (72, 64) SEC-DED code.
+_CHECK_POSITIONS = tuple(1 << i for i in range(7))  # 1,2,4,...,64
+_DATA_POSITIONS = tuple(
+    p for p in range(1, CODEWORD_BITS) if p not in set(_CHECK_POSITIONS)
+)
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of a SEC-DED decode."""
+
+    OK = "ok"
+    CORRECTED = "corrected"
+    DETECTED = "detected"  # uncorrectable (double) error
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoded data plus what the decoder had to do to obtain it."""
+
+    data: int
+    status: DecodeStatus
+
+    @property
+    def usable(self) -> bool:
+        """Whether :attr:`data` can be consumed by the pipeline."""
+        return self.status is not DecodeStatus.DETECTED
+
+
+def _parity(value: int) -> int:
+    """Parity (XOR-reduction) of an arbitrary-width integer."""
+    return value.bit_count() & 1
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit SEC-DED codeword."""
+    data &= _DATA_MASK
+    codeword = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (data >> i) & 1:
+            codeword |= 1 << pos
+    # Hamming check bit at position 2**i covers every position whose binary
+    # representation has bit i set.
+    for i, pos in enumerate(_CHECK_POSITIONS):
+        covered = 0
+        for p in range(1, CODEWORD_BITS):
+            if p & pos and (codeword >> p) & 1:
+                covered ^= 1
+        if covered:
+            codeword |= 1 << pos
+    # Overall parity over positions 1..71 stored at position 0.
+    if _parity(codeword >> 1):
+        codeword |= 1
+    return codeword
+
+
+def _syndrome(codeword: int) -> int:
+    """XOR of the positions of all set bits in positions 1..71."""
+    syndrome = 0
+    rest = codeword >> 1
+    pos = 1
+    while rest:
+        if rest & 1:
+            syndrome ^= pos
+        rest >>= 1
+        pos += 1
+    return syndrome
+
+
+def extract_data(codeword: int) -> int:
+    """Pull the 64 data bits out of a codeword without any checking."""
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (codeword >> pos) & 1:
+            data |= 1 << i
+    return data
+
+
+def decode(codeword: int) -> DecodeResult:
+    """Decode a possibly-corrupted 72-bit codeword.
+
+    Implements the standard extended-Hamming decision procedure:
+
+    ========  ==============  =======================================
+    syndrome  overall parity  verdict
+    ========  ==============  =======================================
+    0         even            no error
+    != 0      odd             single-bit error at *syndrome*; correct
+    0         odd             error in the overall parity bit; correct
+    != 0      even            double-bit error; detect only
+    ========  ==============  =======================================
+    """
+    syndrome = _syndrome(codeword)
+    overall_odd = _parity(codeword) == 1
+    if syndrome == 0 and not overall_odd:
+        return DecodeResult(extract_data(codeword), DecodeStatus.OK)
+    if syndrome == 0 and overall_odd:
+        # The overall parity bit itself flipped; data is intact.
+        return DecodeResult(extract_data(codeword), DecodeStatus.CORRECTED)
+    if overall_odd:
+        if syndrome >= CODEWORD_BITS:
+            # Syndrome points outside the codeword: multi-bit corruption.
+            return DecodeResult(extract_data(codeword), DecodeStatus.DETECTED)
+        corrected = codeword ^ (1 << syndrome)
+        return DecodeResult(extract_data(corrected), DecodeStatus.CORRECTED)
+    return DecodeResult(extract_data(codeword), DecodeStatus.DETECTED)
+
+
+class EccWord:
+    """A 64-bit word stored as a SEC-DED codeword, for fault injection.
+
+    Mirrors :class:`repro.coding.parity.ParityWord` so the error injector can
+    treat protected words uniformly.
+    """
+
+    __slots__ = ("codeword",)
+
+    def __init__(self, data: int = 0):
+        self.write(data)
+
+    def write(self, data: int) -> None:
+        """Store *data*, regenerating all 8 check bits."""
+        self.codeword = encode(data)
+
+    @property
+    def data(self) -> int:
+        """The (possibly corrupted) raw data bits, without decoding."""
+        return extract_data(self.codeword)
+
+    def flip_bit(self, bit: int) -> None:
+        """Model a transient fault in codeword bit *bit* (0..71)."""
+        if not 0 <= bit < CODEWORD_BITS:
+            raise ValueError(f"bit index {bit} out of range for a codeword")
+        self.codeword ^= 1 << bit
+
+    def read(self) -> DecodeResult:
+        """Read-time verification and correction."""
+        return decode(self.codeword)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EccWord(codeword={self.codeword:#020x})"

@@ -1,0 +1,40 @@
+"""The paper's contribution: in-cache replication for the data L1."""
+
+from repro.core.config import (
+    ICRConfig,
+    LookupMode,
+    ReplicationTrigger,
+    VictimPolicy,
+    power2_distances,
+    resolve_distance,
+    variant,
+)
+from repro.core.decay import SATURATION_TICKS, DeadBlockPredictor
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    HEADLINE_SCHEMES,
+    iter_configs,
+    make_cache,
+    make_config,
+)
+from repro.core.victim import find_replica_victim
+
+__all__ = [
+    "ICRConfig",
+    "LookupMode",
+    "ReplicationTrigger",
+    "VictimPolicy",
+    "power2_distances",
+    "resolve_distance",
+    "variant",
+    "SATURATION_TICKS",
+    "DeadBlockPredictor",
+    "ICRCache",
+    "ALL_SCHEMES",
+    "HEADLINE_SCHEMES",
+    "iter_configs",
+    "make_cache",
+    "make_config",
+    "find_replica_victim",
+]

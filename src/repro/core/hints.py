@@ -1,0 +1,116 @@
+"""Software-controlled replication — the paper's stated future work.
+
+Section 6: "we plan to explore controlling replication using software
+mechanisms that can direct how many replicas are needed for each line,
+when such replication should be initiated, and what blocks should not be
+replicated."  This module implements exactly that interface: per-address-
+range directives that the ICR cache consults before every replication
+decision.
+
+Three directives, matching the three questions in the quote:
+
+* **how many** — ``replicas(range, n)`` overrides the replica count for
+  blocks in the range (0, 1 or 2);
+* **when** — ``eager(range)`` initiates replication at fill time for the
+  range even when the cache otherwise replicates only on stores (useful
+  for critical read-only data under the cheap ``S`` trigger);
+* **what not** — ``never(range)`` excludes the range from replication
+  entirely (e.g. scratch data whose loss is harmless), freeing dead space
+  for lines that matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte-address range [start, end)."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"bad address range [{self.start:#x}, {self.end:#x})")
+
+    def contains_block(self, block_addr: int, block_size: int) -> bool:
+        """Whether the cache line at *block_addr* overlaps this range."""
+        byte_addr = block_addr * block_size
+        return byte_addr < self.end and byte_addr + block_size > self.start
+
+
+@dataclass(frozen=True)
+class _CountDirective:
+    range: AddressRange
+    count: int
+
+
+@dataclass
+class ReplicationHints:
+    """A set of software directives consulted by the ICR cache.
+
+    Directives are matched in registration order; the first matching
+    directive of each kind wins.  Blocks not covered by any directive get
+    the hardware default behaviour.
+    """
+
+    _never: list[AddressRange] = field(default_factory=list)
+    _eager: list[AddressRange] = field(default_factory=list)
+    _counts: list[_CountDirective] = field(default_factory=list)
+
+    # -- registration -------------------------------------------------------
+
+    def never(self, start: int, end: int) -> "ReplicationHints":
+        """Never replicate lines in [start, end)."""
+        self._never.append(AddressRange(start, end))
+        return self
+
+    def eager(self, start: int, end: int) -> "ReplicationHints":
+        """Replicate lines in [start, end) at fill time, not just on stores."""
+        self._eager.append(AddressRange(start, end))
+        return self
+
+    def replicas(self, start: int, end: int, count: int) -> "ReplicationHints":
+        """Request *count* replicas (0..2) for lines in [start, end)."""
+        if not 0 <= count <= 2:
+            raise ValueError("software hints support 0, 1 or 2 replicas")
+        self._counts.append(_CountDirective(AddressRange(start, end), count))
+        return self
+
+    # -- queries used by the cache ------------------------------------------
+
+    def may_replicate(self, block_addr: int, block_size: int) -> bool:
+        if any(r.contains_block(block_addr, block_size) for r in self._never):
+            return False
+        return self.replica_count(block_addr, block_size, default=1) > 0
+
+    def replica_count(
+        self, block_addr: int, block_size: int, default: int
+    ) -> int:
+        """Replicas requested for this line (*default* when unhinted)."""
+        if any(r.contains_block(block_addr, block_size) for r in self._never):
+            return 0
+        for directive in self._counts:
+            if directive.range.contains_block(block_addr, block_size):
+                return directive.count
+        return default
+
+    def replicate_on_fill(self, block_addr: int, block_size: int) -> bool:
+        """Whether software asked for fill-time replication of this line."""
+        return any(r.contains_block(block_addr, block_size) for r in self._eager)
+
+    def describe(self) -> str:
+        """Human-readable summary of all registered directives."""
+        lines: list[str] = []
+        for r in self._never:
+            lines.append(f"never  [{r.start:#x}, {r.end:#x})")
+        for r in self._eager:
+            lines.append(f"eager  [{r.start:#x}, {r.end:#x})")
+        for d in self._counts:
+            lines.append(
+                f"count={d.count} [{d.range.start:#x}, {d.range.end:#x})"
+            )
+        return "\n".join(lines) or "(no directives)"

@@ -1,0 +1,508 @@
+"""The ICR data cache — the paper's primary contribution.
+
+An :class:`ICRCache` is a set-associative dL1 that recycles *dead* lines
+(cache decay, Section 2) to hold **replicas** of lines in active use:
+
+* Replication is attempted on stores (``S`` schemes) or on both fills and
+  stores (``LS`` schemes).  An attempt walks the configured candidate
+  distances — set ``(m + k) mod N`` for a primary in set ``m`` — and asks
+  the victim policy for a legal line to take over; if no candidate set
+  offers one, the attempt simply fails ("do nothing" fallback).
+* Stores to a replicated line update the primary and every replica, so a
+  replica is always an exact copy.
+* Primary placement is untouched: normal LRU over all lines of the set, so
+  the cache never behaves worse than LRU for primaries.
+* On primary eviction replicas are either dropped (default) or left behind
+  (Section 5.6) where they can serve a later miss in 2 cycles — the
+  performance mode in which ICR can *beat* the plain parity baseline.
+
+The cache optionally simulates actual bit contents (``track_data``) so the
+fault-injection experiments (Section 5.5) exercise the real parity /
+SEC-DED decoders and the real recovery paths:
+
+  parity error on a replicated line  -> consult the replica (+1 cycle);
+  parity error, clean line           -> refetch from L2;
+  parity error, dirty line, no good replica -> **unrecoverable**;
+  ECC single-bit error               -> corrected in place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cache.block import CacheBlock
+from repro.cache.hierarchy import DL1Outcome
+from repro.cache.set_assoc import Eviction, SetAssociativeCache
+from repro.coding.protection import ProtectionKind
+from repro.core.config import ICRConfig, LookupMode, ReplicationTrigger
+from repro.core.decay import DeadBlockPredictor
+from repro.core.victim import find_replica_victim
+
+
+class ICRCache(SetAssociativeCache):
+    """dL1 with in-cache replication.
+
+    Base schemes (``BaseP``, ``BaseECC``) are ICR caches whose trigger is
+    :attr:`ReplicationTrigger.NONE`; they take the plain hit/miss paths and
+    never create replicas, so a single implementation serves all ten
+    schemes of Section 3.2.
+    """
+
+    def __init__(self, config: ICRConfig):
+        super().__init__(config.geometry, name="dl1", replacement=config.replacement)
+        self.config = config
+        self.predictor = DeadBlockPredictor(config.decay_window)
+        self.write_policy = config.write_policy
+        self.words_per_block = config.geometry.block_size // 8
+        self._distances = config.resolved_distances()
+        # Second-replica placement falls back to Distance-N/4 (the paper's
+        # choice) when software hints request two replicas but the config
+        # did not set explicit second distances.
+        self._second_distances = config.resolved_second_distances() or (
+            config.geometry.n_sets // 4,
+        )
+        self._all_distances = config.all_replica_distances()
+        if config.hints is not None:
+            # Hints may place second replicas at the fallback distance.
+            for d in self._second_distances:
+                if d not in self._all_distances:
+                    self._all_distances = self._all_distances + (d,)
+        self._evict_hook: Optional[Callable[[Eviction], None]] = None
+        # Fault injection (attached by repro.errors.injector).
+        self.injector = None
+        # Optional observer with an ``observe(now)`` method, called at the
+        # start of every demand access (repro.reliability attaches here).
+        self.monitor = None
+        # Optional background scrubber (repro.errors.scrubber).
+        self.scrubber = None
+        self.error_refetch_latency = 6  # L2 latency charged for error refetch
+        # Error-free "memory image" backing the bit-accurate mode: the
+        # golden contents of every block the program has touched.
+        self._memory_image: dict[int, list[int]] = {}
+        self._store_seq = 0
+
+    # ------------------------------------------------------------------
+    # hierarchy protocol
+    # ------------------------------------------------------------------
+
+    def set_evict_hook(self, hook: Callable[[Eviction], None]) -> None:
+        self._evict_hook = hook
+        self.on_evict = hook
+
+    # ------------------------------------------------------------------
+    # linking / unlinking of primaries and replicas
+    # ------------------------------------------------------------------
+
+    def _sever_links(self, block: CacheBlock) -> None:
+        """Detach *block* from its partners before it is reused."""
+        if block.is_replica:
+            primary = block.primary_ref
+            if primary is not None and primary.valid:
+                try:
+                    primary.replica_refs.remove(block)
+                except ValueError:
+                    pass
+                if not primary.replica_refs:
+                    self._on_lost_last_replica(primary)
+            block.primary_ref = None
+            self.stats.replica_evictions += 1
+            return
+        if block.replica_refs:
+            for replica in list(block.replica_refs):
+                if self.config.leave_replicas_on_evict:
+                    replica.primary_ref = None  # orphan, still addressable
+                else:
+                    replica.primary_ref = None
+                    replica.invalidate()
+                    self.stats.replica_evictions += 1
+            block.replica_refs = []
+
+    def _on_lost_last_replica(self, primary: CacheBlock) -> None:
+        """Restore the unreplicated protection once all replicas are gone."""
+        kind = self.config.protection_for(replicated=False)
+        if primary.protection is not kind:
+            primary.reprotect(kind)
+            self._count_generate(kind)
+
+    def evict(self, block: CacheBlock) -> Optional[Eviction]:
+        """Evict with link maintenance (overrides the base primitive)."""
+        if not block.valid:
+            return None
+        if block.dirty and not block.is_replica and self.config.track_data:
+            # A dirty eviction publishes the line's golden contents to the
+            # lower levels, which we model as error-free.
+            self._memory_image[block.block_addr] = list(
+                block.golden or self._golden_words(block.block_addr)
+            )
+        self._sever_links(block)
+        return super().evict(block)
+
+    # ------------------------------------------------------------------
+    # bit-accurate storage helpers
+    # ------------------------------------------------------------------
+
+    def _golden_words(self, block_addr: int) -> list[int]:
+        """Golden contents of *block_addr* in the (error-free) L2/memory."""
+        image = self._memory_image.get(block_addr)
+        if image is None:
+            # Deterministic initial memory contents.
+            base = (block_addr * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+            image = [
+                (base ^ (i * 0xBF58476D1CE4E5B9)) & ((1 << 64) - 1)
+                for i in range(self.words_per_block)
+            ]
+            self._memory_image[block_addr] = image
+        return image
+
+    def _materialize(self, block: CacheBlock, replicated: bool) -> None:
+        if not self.config.track_data:
+            return
+        kind = self.config.protection_for(replicated)
+        block.materialize_words(kind, list(self._golden_words(block.block_addr)))
+
+    def _next_store_value(self) -> int:
+        self._store_seq += 1
+        return (self._store_seq * 0xD1B54A32D192ED03) & ((1 << 64) - 1)
+
+    # ------------------------------------------------------------------
+    # energy event counting
+    # ------------------------------------------------------------------
+
+    def _count_check(self, kind: ProtectionKind) -> None:
+        if kind is ProtectionKind.PARITY:
+            self.stats.parity_checks += 1
+        else:
+            self.stats.ecc_checks += 1
+
+    def _count_generate(self, kind: ProtectionKind) -> None:
+        if kind is ProtectionKind.PARITY:
+            self.stats.parity_generates += 1
+        else:
+            self.stats.ecc_generates += 1
+
+    # ------------------------------------------------------------------
+    # demand access
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool, now: int) -> DL1Outcome:
+        """One demand access from the pipeline; see module docstring."""
+        if self.injector is not None:
+            self.injector.advance(now)
+        if self.scrubber is not None:
+            self.scrubber.advance(now)
+        if self.monitor is not None:
+            self.monitor.observe(now)
+        block_addr = self.geometry.block_addr(addr)
+        word_index = self.geometry.word_index(addr)
+        if is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+
+        primary = self.probe(block_addr)
+        if primary is not None:
+            return self._hit(primary, word_index, is_write, now)
+
+        # Primary miss.  With leave-in-place replicas a leftover replica
+        # may still hold the line (Section 5.6).
+        if self.config.leave_replicas_on_evict:
+            replica = self._probe_replica(block_addr)
+            if replica is not None:
+                return self._fill_from_replica(replica, word_index, is_write, now)
+        return self._miss(block_addr, word_index, is_write, now)
+
+    # -- hit path ----------------------------------------------------------
+
+    def _hit(
+        self, primary: CacheBlock, word_index: int, is_write: bool, now: int
+    ) -> DL1Outcome:
+        primary.touch(now)
+        self.touch_lru(primary)
+        replicated = primary.has_replica
+        if is_write:
+            self.stats.store_hits += 1
+            self.stats.array_writes += 1
+            if self.write_policy == "writeback":
+                primary.dirty = True
+            self._count_generate(primary.protection)
+            if self.config.track_data and primary.words is not None:
+                value = self._next_store_value()
+                primary.write_word(word_index, value)
+                if self.write_policy == "writethrough":
+                    self._memory_image[primary.block_addr][word_index] = value
+            if replicated:
+                self._update_replicas(primary, word_index, now)
+            elif self.config.trigger.on_store:
+                self._attempt_replication(primary, now)
+            return DL1Outcome(hit=True, latency=1)
+
+        # Load hit.
+        self.stats.load_hits += 1
+        self.stats.array_reads += 1
+        if replicated:
+            self.stats.load_hits_with_replica += 1
+        latency = self.config.load_hit_latency(replicated)
+        self._count_check(primary.protection)
+        if self.config.lookup is LookupMode.PARALLEL and replicated:
+            # PP: primary and replica are read and compared together.
+            self.stats.array_reads += 1
+            self._count_check(ProtectionKind.PARITY)
+        if self.config.track_data and primary.words is not None:
+            latency += self._verified_load(primary, word_index, now)
+        return DL1Outcome(hit=True, latency=latency)
+
+    def _update_replicas(self, primary: CacheBlock, word_index: int, now: int) -> None:
+        """Propagate a store to every replica, keeping them exact copies."""
+        for replica in primary.replica_refs:
+            self.stats.array_writes += 1
+            self.stats.replica_updates += 1
+            self._count_generate(ProtectionKind.PARITY)
+            replica.touch(now)
+            self.touch_lru(replica)
+            if self.config.track_data and replica.words is not None:
+                replica.write_word(word_index, primary.golden[word_index])
+
+    # -- miss paths ----------------------------------------------------------
+
+    def _probe_replica(self, block_addr: int) -> Optional[CacheBlock]:
+        """Find a (possibly orphaned) replica of *block_addr*."""
+        home = self.geometry.set_index(block_addr)
+        for distance in self._all_distances:
+            self.stats.tag_probes += 1
+            for block in self.sets[(home + distance) % self.geometry.n_sets]:
+                if block.valid and block.is_replica and block.block_addr == block_addr:
+                    return block
+        return None
+
+    def _fill_from_replica(
+        self, replica: CacheBlock, word_index: int, is_write: bool, now: int
+    ) -> DL1Outcome:
+        """Serve a primary miss from a leftover replica (2-cycle load)."""
+        block_addr = replica.block_addr
+        if is_write:
+            self.stats.store_misses += 1
+        else:
+            self.stats.load_misses += 1
+        self.stats.replica_fills += 1
+        self.stats.array_reads += 1  # read the replica
+        home = self.geometry.set_index(block_addr)
+        victim = self.lru_victim(home)
+        if victim is replica:
+            # Degenerate distance-0 case: the replica occupies the LRU way
+            # of its own home set.  Promote it in place.
+            replica.is_replica = False
+            replica.primary_ref = None
+            primary = replica
+            primary.protection = self.config.protection_for(replicated=False)
+            if self.config.track_data and primary.words is not None:
+                primary.reprotect(primary.protection)
+        else:
+            self.evict(victim)
+            victim.fill(block_addr, now)
+            primary = victim
+            primary.protection = self.config.protection_for(replicated=True)
+            if self.config.track_data and replica.words is not None:
+                primary.materialize_words(
+                    self.config.protection_for(replicated=True),
+                    [w.raw_data for w in replica.words],
+                )
+                primary.golden = list(replica.golden)
+            # The leftover replica stays and is re-linked to the new primary.
+            primary.replica_refs = [replica]
+            replica.primary_ref = primary
+        self.stats.array_writes += 1
+        self._count_generate(self.config.protection_for(primary.has_replica))
+        self.touch_lru(primary)
+        primary.touch(now)
+        if is_write:
+            if self.write_policy == "writeback":
+                primary.dirty = True
+            if self.config.track_data and primary.words is not None:
+                value = self._next_store_value()
+                primary.write_word(word_index, value)
+                if self.write_policy == "writethrough":
+                    self._memory_image[block_addr][word_index] = value
+            if primary.has_replica:
+                self._update_replicas(primary, word_index, now)
+            return DL1Outcome(hit=False, latency=1, replica_fill=True)
+        # One extra cycle over a normal hit to reach the replica's set.
+        return DL1Outcome(hit=False, latency=2, replica_fill=True)
+
+    def _miss(
+        self, block_addr: int, word_index: int, is_write: bool, now: int
+    ) -> DL1Outcome:
+        if is_write:
+            self.stats.store_misses += 1
+        else:
+            self.stats.load_misses += 1
+        home = self.geometry.set_index(block_addr)
+        victim = self.lru_victim(home)
+        self.evict(victim)
+        victim.fill(block_addr, now, dirty=False)
+        primary = victim
+        primary.protection = self.config.protection_for(replicated=False)
+        self.stats.array_writes += 1
+        self._count_generate(primary.protection)
+        self._materialize(primary, replicated=False)
+        self.touch_lru(primary)
+
+        replicate_at_fill = self.config.trigger.on_fill
+        if (
+            not replicate_at_fill
+            and self.config.hints is not None
+            and self.config.replicates
+        ):
+            # Software "eager" hint: replicate this line at fill time even
+            # under the stores-only trigger.
+            replicate_at_fill = self.config.hints.replicate_on_fill(
+                block_addr, self.geometry.block_size
+            )
+        if replicate_at_fill:
+            self._attempt_replication(primary, now)
+        if is_write:
+            if self.write_policy == "writeback":
+                primary.dirty = True
+            self.stats.array_writes += 1
+            self._count_generate(primary.protection)
+            if self.config.track_data and primary.words is not None:
+                value = self._next_store_value()
+                primary.write_word(word_index, value)
+                if self.write_policy == "writethrough":
+                    self._memory_image[block_addr][word_index] = value
+            if primary.has_replica:
+                self._update_replicas(primary, word_index, now)
+            elif self.config.trigger.on_store:
+                self._attempt_replication(primary, now)
+        return DL1Outcome(hit=False, latency=None)
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+
+    def _attempt_replication(self, primary: CacheBlock, now: int) -> None:
+        """Try to give *primary* its replica(s) (Section 3.1).
+
+        Software hints (Section 6 future work) can exclude the line or
+        override how many replicas it gets.
+        """
+        if not self.config.replicates or primary.has_replica:
+            return
+        wanted = self.config.max_replicas
+        hints = self.config.hints
+        if hints is not None:
+            block_size = self.geometry.block_size
+            if not hints.may_replicate(primary.block_addr, block_size):
+                return
+            wanted = hints.replica_count(
+                primary.block_addr, block_size, default=wanted
+            )
+            if wanted == 0:
+                return
+        self.stats.replication_attempts += 1
+        placed = self._place_replica(primary, self._distances, now)
+        if placed is None:
+            return
+        self.stats.replication_successes += 1
+        if wanted >= 2:
+            self.stats.second_replica_attempts += 1
+            second = self._place_replica(primary, self._second_distances, now)
+            if second is not None:
+                self.stats.second_replica_successes += 1
+
+    def _place_replica(
+        self, primary: CacheBlock, distances: tuple[int, ...], now: int
+    ) -> Optional[CacheBlock]:
+        """Walk candidate distances; install a replica at the first home."""
+        home = self.geometry.set_index(primary.block_addr)
+        n = self.geometry.n_sets
+        for distance in distances:
+            target = (home + distance) % n
+            self.stats.tag_probes += 1
+            victim = find_replica_victim(
+                self.sets[target],
+                self.config.victim_policy,
+                self.predictor,
+                now,
+                exclude_block=primary,
+                exclude_addr=primary.block_addr,
+                allow_invalid=self.config.replicate_into_invalid,
+            )
+            if victim is None:
+                continue
+            if victim.valid and not victim.is_replica:
+                if self.predictor.is_dead(victim, now):
+                    self.stats.dead_evictions += 1
+            self.evict(victim)
+            victim.fill(primary.block_addr, now, is_replica=True)
+            victim.protection = ProtectionKind.PARITY
+            victim.primary_ref = primary
+            primary.replica_refs.append(victim)
+            self.touch_lru(victim)
+            self.stats.array_writes += 1
+            self._count_generate(ProtectionKind.PARITY)
+            if self.config.track_data:
+                victim.materialize_words(
+                    ProtectionKind.PARITY,
+                    [w.raw_data for w in primary.words]
+                    if primary.words is not None
+                    else list(self._golden_words(primary.block_addr)),
+                )
+                victim.golden = list(primary.golden or victim.golden)
+            # Replicated lines are parity-protected for 1-cycle loads.
+            new_kind = self.config.protection_for(replicated=True)
+            if primary.protection is not new_kind:
+                primary.reprotect(new_kind)
+                self._count_generate(new_kind)
+            return victim
+        return None
+
+    # ------------------------------------------------------------------
+    # verified loads (fault-injection runs)
+    # ------------------------------------------------------------------
+
+    def _verified_load(self, primary: CacheBlock, word_index: int, now: int) -> int:
+        """Read one word through its protection code; run recovery.
+
+        Returns the extra latency the recovery cost on top of the scheme's
+        nominal load-hit latency.  Updates the error counters used by the
+        Figure 14 experiment.
+        """
+        outcome = primary.words[word_index].read()
+        golden = primary.golden[word_index]
+        if not outcome.error_detected:
+            if outcome.data != golden:
+                # An even number of flips per byte slipped past the code.
+                self.stats.silent_corruptions += 1
+            return 0
+
+        self.stats.load_errors_detected += 1
+        if outcome.corrected:
+            # SEC-DED fixed it; scrub the stored word.
+            self.stats.load_errors_corrected_ecc += 1
+            primary.words[word_index].write(outcome.data)
+            return 0
+
+        # Detection without correction: try the replica first.
+        extra = 0
+        for replica in primary.replica_refs:
+            extra += 1  # one extra cycle to reach the replica
+            if replica.words is None:
+                continue
+            replica_read = replica.words[word_index].read()
+            if not replica_read.error_detected and replica_read.data == golden:
+                self.stats.load_errors_recovered_replica += 1
+                primary.words[word_index].write(replica_read.data)
+                return extra
+
+        if not primary.dirty:
+            # Clean line: the lower levels still hold good data.
+            self.stats.load_errors_recovered_l2 += 1
+            for i, value in enumerate(self._golden_words(primary.block_addr)):
+                primary.words[i].write(value)
+                primary.golden[i] = value
+            return extra + self.error_refetch_latency
+
+        # Dirty, no usable replica: the value is lost.
+        self.stats.load_errors_unrecoverable += 1
+        primary.words[word_index].write(golden)  # repair to continue the run
+        return extra

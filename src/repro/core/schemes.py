@@ -1,0 +1,159 @@
+"""The named dL1 schemes evaluated in the paper (Section 3.2).
+
+========================  =====================================================
+``BaseP``                 plain cache, byte parity everywhere, 1-cycle loads
+``BaseECC``               plain cache, SEC-DED everywhere, 2-cycle loads
+``BaseECC-spec``          BaseECC with speculative 1-cycle loads (Section 5.9)
+``BaseP-WT``              BaseP with a write-through dL1 + 8-entry coalescing
+                          write buffer (Section 5.8, POWER4-style)
+``ICR-P-PS (LS|S)``       parity everywhere, replica consulted serially
+``ICR-P-PP (LS|S)``       parity everywhere, replica compared in parallel
+``ICR-ECC-PS (LS|S)``     ECC on unreplicated lines, serial replica lookup
+``ICR-ECC-PP (LS|S)``     ECC on unreplicated lines, parallel replica compare
+========================  =====================================================
+
+``S`` replicates on stores only; ``LS`` also on fills (dL1 misses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cache.set_assoc import CacheGeometry
+from repro.coding.protection import ProtectionKind
+from repro.core.config import (
+    ICRConfig,
+    LookupMode,
+    ReplicationTrigger,
+    VictimPolicy,
+    variant,
+)
+from repro.core.icr_cache import ICRCache
+
+#: Scheme names in the order the paper's Figure 9 presents them.
+ALL_SCHEMES: tuple[str, ...] = (
+    "BaseP",
+    "BaseECC",
+    "ICR-P-PS(LS)",
+    "ICR-P-PS(S)",
+    "ICR-P-PP(LS)",
+    "ICR-P-PP(S)",
+    "ICR-ECC-PS(LS)",
+    "ICR-ECC-PS(S)",
+    "ICR-ECC-PP(LS)",
+    "ICR-ECC-PP(S)",
+)
+
+#: The two schemes the paper's later sections focus on.
+HEADLINE_SCHEMES: tuple[str, ...] = ("ICR-P-PS(S)", "ICR-ECC-PS(S)")
+
+_TRIGGERS = {"S": ReplicationTrigger.STORES, "LS": ReplicationTrigger.LOADS_AND_STORES}
+_LOOKUPS = {"PS": LookupMode.SERIAL, "PP": LookupMode.PARALLEL}
+_PROTECTIONS = {"P": ProtectionKind.PARITY, "ECC": ProtectionKind.ECC}
+
+
+def normalize_scheme_name(name: str) -> str:
+    """Canonicalize spellings like ``icr-p-ps (s)`` to ``ICR-P-PS(S)``."""
+    return name.replace(" ", "").upper().replace("BASEECC", "BaseECC").replace(
+        "BASEP", "BaseP"
+    ).replace("-SPEC", "-spec").replace("BaseECC-SPEC", "BaseECC-spec")
+
+
+def make_config(
+    name: str,
+    *,
+    geometry: Optional[CacheGeometry] = None,
+    decay_window: Optional[int] = 0,
+    victim_policy: VictimPolicy = VictimPolicy.DEAD_ONLY,
+    replica_distances: tuple = ("N/2",),
+    second_replica_distances: tuple = (),
+    max_replicas: int = 1,
+    leave_replicas_on_evict: bool = False,
+    replicate_into_invalid: bool = False,
+    replacement: str = "lru",
+    track_data: bool = False,
+) -> ICRConfig:
+    """Build the :class:`ICRConfig` for a named scheme.
+
+    The keyword knobs cover the parameters the paper varies around the
+    named schemes: dead-block aggressiveness, victim policy, attempt list,
+    replica count, and the Section 5.6 leave-in-place mode.
+    """
+    canonical = normalize_scheme_name(name)
+    base = ICRConfig(
+        name=canonical,
+        geometry=geometry or CacheGeometry(16 * 1024, 4, 64),
+        decay_window=decay_window,
+        victim_policy=victim_policy,
+        replica_distances=tuple(replica_distances),
+        second_replica_distances=tuple(second_replica_distances),
+        max_replicas=max_replicas,
+        leave_replicas_on_evict=leave_replicas_on_evict,
+        replicate_into_invalid=replicate_into_invalid,
+        replacement=replacement,
+        track_data=track_data,
+    )
+    if canonical == "BaseP":
+        return variant(
+            base,
+            trigger=ReplicationTrigger.NONE,
+            protection_unreplicated=ProtectionKind.PARITY,
+            max_replicas=1,
+            second_replica_distances=(),
+            leave_replicas_on_evict=False,
+        )
+    if canonical == "BaseP-WT":
+        return variant(
+            base,
+            name="BaseP-WT",
+            trigger=ReplicationTrigger.NONE,
+            protection_unreplicated=ProtectionKind.PARITY,
+            write_policy="writethrough",
+            max_replicas=1,
+            second_replica_distances=(),
+            leave_replicas_on_evict=False,
+        )
+    if canonical == "BaseECC":
+        return variant(
+            base,
+            trigger=ReplicationTrigger.NONE,
+            protection_unreplicated=ProtectionKind.ECC,
+            max_replicas=1,
+            second_replica_distances=(),
+            leave_replicas_on_evict=False,
+        )
+    if canonical == "BaseECC-spec":
+        return variant(
+            base,
+            name="BaseECC-spec",
+            trigger=ReplicationTrigger.NONE,
+            protection_unreplicated=ProtectionKind.ECC,
+            speculative_ecc_loads=True,
+            max_replicas=1,
+            second_replica_distances=(),
+            leave_replicas_on_evict=False,
+        )
+    # ICR-<prot>-<lookup>(<trigger>)
+    try:
+        body, trigger_part = canonical.split("(")
+        trigger_key = trigger_part.rstrip(")")
+        _, prot_key, lookup_key = body.split("-")
+        return variant(
+            base,
+            name=f"ICR-{prot_key}-{lookup_key}({trigger_key})",
+            trigger=_TRIGGERS[trigger_key],
+            lookup=_LOOKUPS[lookup_key],
+            protection_unreplicated=_PROTECTIONS[prot_key],
+        )
+    except (ValueError, KeyError) as exc:
+        raise ValueError(f"unknown scheme name {name!r}") from exc
+
+
+def make_cache(name: str, **kwargs) -> ICRCache:
+    """Convenience: an :class:`ICRCache` for a named scheme."""
+    return ICRCache(make_config(name, **kwargs))
+
+
+def iter_configs(names: Iterable[str], **kwargs) -> list[ICRConfig]:
+    """Configs for several schemes with shared knob settings."""
+    return [make_config(name, **kwargs) for name in names]

@@ -1,0 +1,86 @@
+"""Victim selection for replica placement (Section 3.1).
+
+A replica may never displace a *live* primary copy — that is the property
+that keeps ICR's performance close to the baseline.  Within that rule the
+paper defines four policies ordering the two legal victim categories,
+**dead blocks** (primaries whose decay counter saturated) and **existing
+replicas**:
+
+* ``dead-only`` — LRU among dead primaries only (reliability-biased: never
+  sacrifices an existing replica);
+* ``replica-only`` — LRU among replicas only (dismissed by the paper as
+  self-defeating);
+* ``dead-first`` — dead primaries first, replicas as fallback;
+* ``replica-first`` — replicas first, dead primaries as fallback.
+
+Invalid (empty) lines are always acceptable and checked before either
+category.  Dead *replicas* count as replicas, not as dead blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cache.block import CacheBlock
+from repro.core.config import VictimPolicy
+from repro.core.decay import DeadBlockPredictor
+
+
+def _lru(blocks: list[CacheBlock]) -> Optional[CacheBlock]:
+    return min(blocks, key=lambda b: b.lru_stamp) if blocks else None
+
+
+def find_replica_victim(
+    ways: Sequence[CacheBlock],
+    policy: VictimPolicy,
+    predictor: DeadBlockPredictor,
+    now: int,
+    *,
+    exclude_block: Optional[CacheBlock] = None,
+    exclude_addr: int = -1,
+    allow_invalid: bool = False,
+) -> Optional[CacheBlock]:
+    """Choose which line of a set a new replica may take over.
+
+    *exclude_block* protects the primary being replicated itself (relevant
+    for distance-0 "horizontal" replication, where the replica lands in the
+    primary's own set).  *exclude_addr* protects existing replicas of the
+    same block (relevant when placing a second replica: evicting the first
+    one to make room for the second would be pointless).
+
+    By default invalid frames are *not* replica homes: replication recycles
+    decayed live lines, while empty frames are left to absorb demand fills
+    (they are the fill path's first choice).  This matches the paper's
+    observed dynamics — with invalid frames allowed, every dropped replica
+    would hand its own slot to the next attempt and the replication
+    ability would be pinned at 1.0.  Set *allow_invalid* to study the
+    alternative.
+
+    Returns ``None`` when the set offers no legal victim — the caller then
+    falls back to its next candidate distance, or gives up ("do nothing").
+    """
+    dead: list[CacheBlock] = []
+    replicas: list[CacheBlock] = []
+    for block in ways:
+        if block is exclude_block:
+            continue
+        if not block.valid:
+            if allow_invalid:
+                return block
+            continue
+        if block.block_addr == exclude_addr and block.is_replica:
+            continue
+        if block.is_replica:
+            replicas.append(block)
+        elif predictor.is_dead(block, now):
+            dead.append(block)
+
+    if policy is VictimPolicy.DEAD_ONLY:
+        return _lru(dead)
+    if policy is VictimPolicy.REPLICA_ONLY:
+        return _lru(replicas)
+    if policy is VictimPolicy.DEAD_FIRST:
+        return _lru(dead) or _lru(replicas)
+    if policy is VictimPolicy.REPLICA_FIRST:
+        return _lru(replicas) or _lru(dead)
+    raise ValueError(f"unknown victim policy {policy!r}")

@@ -1,0 +1,40 @@
+"""sim-outorder-like CPU timing substrate."""
+
+from repro.cpu.branch import CombinedPredictor, PredictorStats
+from repro.cpu.funits import DEFAULT_SPECS, FunctionalUnits, FUSpec
+from repro.cpu.isa import (
+    MEMORY_OPS,
+    N_REGS,
+    OP_BRANCH,
+    OP_FP_ALU,
+    OP_FP_MUL,
+    OP_INT_ALU,
+    OP_INT_MUL,
+    OP_LOAD,
+    OP_NAMES,
+    OP_STORE,
+    Trace,
+)
+from repro.cpu.pipeline import OutOfOrderPipeline, PipelineConfig, PipelineResult
+
+__all__ = [
+    "CombinedPredictor",
+    "PredictorStats",
+    "DEFAULT_SPECS",
+    "FunctionalUnits",
+    "FUSpec",
+    "MEMORY_OPS",
+    "N_REGS",
+    "OP_BRANCH",
+    "OP_FP_ALU",
+    "OP_FP_MUL",
+    "OP_INT_ALU",
+    "OP_INT_MUL",
+    "OP_LOAD",
+    "OP_NAMES",
+    "OP_STORE",
+    "Trace",
+    "OutOfOrderPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+]

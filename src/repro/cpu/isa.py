@@ -1,0 +1,119 @@
+"""Micro-op trace format consumed by the timing pipeline.
+
+The reproduction is trace-driven: a workload is a sequence of dynamic
+instructions, each carrying exactly the fields the timing model needs —
+operation class, register dependences, PC, and (for memory ops) the
+effective address, (for branches) the resolved direction and target.
+
+Operation classes mirror SimpleScalar's functional-unit classes
+(Table 1: 4 integer ALUs, 1 integer mul/div, 4 FP ALUs, 1 FP mul/div,
+plus loads, stores and branches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Operation classes (kept as plain ints for speed in the pipeline loop).
+OP_INT_ALU = 0
+OP_INT_MUL = 1
+OP_FP_ALU = 2
+OP_FP_MUL = 3
+OP_LOAD = 4
+OP_STORE = 5
+OP_BRANCH = 6
+
+OP_NAMES = {
+    OP_INT_ALU: "int_alu",
+    OP_INT_MUL: "int_mul",
+    OP_FP_ALU: "fp_alu",
+    OP_FP_MUL: "fp_mul",
+    OP_LOAD: "load",
+    OP_STORE: "store",
+    OP_BRANCH: "branch",
+}
+
+MEMORY_OPS = (OP_LOAD, OP_STORE)
+
+#: Architectural register count (register 0 reads as always-ready).
+N_REGS = 32
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction trace in structure-of-arrays form.
+
+    Parallel lists (one entry per dynamic instruction):
+
+    * ``op``     — operation class (``OP_*`` constant);
+    * ``dest``   — destination register (0 = none);
+    * ``src1``/``src2`` — source registers (0 = no dependence);
+    * ``pc``     — instruction address;
+    * ``addr``   — effective address for loads/stores, else 0;
+    * ``taken``  — resolved direction for branches, else False;
+    * ``target`` — resolved target for branches, else 0.
+    """
+
+    op: list[int] = field(default_factory=list)
+    dest: list[int] = field(default_factory=list)
+    src1: list[int] = field(default_factory=list)
+    src2: list[int] = field(default_factory=list)
+    pc: list[int] = field(default_factory=list)
+    addr: list[int] = field(default_factory=list)
+    taken: list[bool] = field(default_factory=list)
+    target: list[int] = field(default_factory=list)
+    name: str = "trace"
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def append(
+        self,
+        op: int,
+        dest: int = 0,
+        src1: int = 0,
+        src2: int = 0,
+        pc: int = 0,
+        addr: int = 0,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.op.append(op)
+        self.dest.append(dest)
+        self.src1.append(src1)
+        self.src2.append(src2)
+        self.pc.append(pc)
+        self.addr.append(addr)
+        self.taken.append(taken)
+        self.target.append(target)
+
+    def mix(self) -> dict[str, float]:
+        """Fraction of each operation class (diagnostics and tests)."""
+        total = len(self)
+        if not total:
+            return {}
+        counts: dict[int, int] = {}
+        for op in self.op:
+            counts[op] = counts.get(op, 0) + 1
+        return {OP_NAMES[k]: v / total for k, v in sorted(counts.items())}
+
+    def memory_fraction(self) -> float:
+        total = len(self)
+        if not total:
+            return 0.0
+        return sum(1 for op in self.op if op in MEMORY_OPS) / total
+
+    def validate(self) -> None:
+        """Sanity-check structural invariants; raises on violation."""
+        n = len(self.op)
+        for column_name in ("dest", "src1", "src2", "pc", "addr", "taken", "target"):
+            column = getattr(self, column_name)
+            if len(column) != n:
+                raise ValueError(f"column {column_name} has {len(column)} != {n} rows")
+        for i, op in enumerate(self.op):
+            if op not in OP_NAMES:
+                raise ValueError(f"instruction {i} has unknown op {op}")
+            if op in MEMORY_OPS and self.addr[i] < 0:
+                raise ValueError(f"memory op {i} has negative address")
+            if not 0 <= self.dest[i] < N_REGS:
+                raise ValueError(f"instruction {i} writes bad register")

@@ -1,0 +1,208 @@
+"""Cycle-stepped reference pipeline for validating the fast model.
+
+:mod:`repro.cpu.pipeline` schedules each instruction with O(1) work using
+a greedy scoreboard — fast, but an approximation.  This module implements
+the same machine as an explicit cycle-by-cycle simulation with real
+structures (a dispatch queue, an RUU window with per-entry state, an LSQ
+occupancy counter, functional-unit busy lists, an in-order commit stage).
+It is 1-2 orders of magnitude slower and exists for one purpose: the
+cross-validation tests assert that the fast model's cycle counts stay
+within a small band of this reference on identical traces, so the
+figure-level *relative* results cannot be artifacts of the scheduling
+approximation.
+
+Both models share the branch predictor and the memory hierarchy, so any
+divergence is purely in instruction scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cpu.branch import CombinedPredictor
+from repro.cpu.funits import DEFAULT_SPECS, FUSpec
+from repro.cpu.isa import OP_BRANCH, OP_LOAD, OP_STORE, Trace
+from repro.cpu.pipeline import PipelineConfig, PipelineResult
+
+_OP_TO_POOL = {
+    0: "int_alu",  # OP_INT_ALU
+    1: "int_mul",
+    2: "fp_alu",
+    3: "fp_mul",
+    4: "mem_port",  # OP_LOAD
+    5: "mem_port",  # OP_STORE
+    6: "int_alu",  # OP_BRANCH resolves on an integer ALU
+}
+
+
+@dataclass
+class _Entry:
+    """One RUU entry."""
+
+    index: int
+    op: int
+    dest: int
+    src1: int
+    src2: int
+    pc: int
+    addr: int
+    taken: bool
+    target: int
+    issued: bool = False
+    complete_at: int = -1  # cycle the result is available; -1 = not issued
+    done: bool = False
+    # Renaming: the entries producing this entry's source values (None =
+    # the value comes from architectural state and is always ready).
+    wait1: "object" = None
+    wait2: "object" = None
+
+
+class ReferencePipeline:
+    """Explicit cycle-stepped out-of-order core (validation only)."""
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        config: PipelineConfig | None = None,
+        predictor: CombinedPredictor | None = None,
+    ):
+        self.hierarchy = hierarchy
+        self.config = config or PipelineConfig()
+        self.predictor = predictor or CombinedPredictor()
+        specs = dict(DEFAULT_SPECS)
+        if self.config.fu_specs:
+            specs.update(self.config.fu_specs)
+        self.specs: dict[str, FUSpec] = specs
+
+    def run(self, trace: Trace) -> PipelineResult:
+        cfg = self.config
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        n = len(trace)
+
+        window: list[_Entry] = []  # RUU in program order
+        next_fetch = 0  # next trace index to dispatch
+        fetch_stalled_until = 0  # redirect / icache stall
+        writers: dict[int, _Entry] = {}  # register -> youngest in-flight writer
+        unit_free: dict[str, list[int]] = {
+            name: [0] * spec.count for name, spec in self.specs.items()
+        }
+        lsq_used = 0
+        committed = 0
+        loads = stores = branches = mispredicts = 0
+        cycle = 0
+        max_cycles_guard = 200 * n + 10_000
+
+        while committed < n:
+            # ---- commit stage: retire completed entries in order --------
+            commits_left = cfg.issue_width
+            while window and commits_left:
+                head = window[0]
+                if not head.done or head.complete_at > cycle:
+                    break
+                window.pop(0)
+                if head.op == OP_LOAD or head.op == OP_STORE:
+                    lsq_used -= 1
+                committed += 1
+                commits_left -= 1
+
+            # ---- issue stage: wake up ready entries ---------------------
+            for entry in window:
+                if entry.issued:
+                    if not entry.done and entry.complete_at <= cycle:
+                        entry.done = True
+                    continue
+                ready = all(
+                    wait is None or (0 <= wait.complete_at <= cycle)
+                    for wait in (entry.wait1, entry.wait2)
+                )
+                if not ready:
+                    continue
+                pool = _OP_TO_POOL[entry.op]
+                frees = unit_free[pool]
+                best = min(range(len(frees)), key=frees.__getitem__)
+                if frees[best] > cycle:
+                    continue  # structural hazard
+                frees[best] = cycle + self.specs[pool].interval
+                entry.issued = True
+                if entry.op == OP_LOAD:
+                    latency = hierarchy.load(entry.addr, cycle)
+                elif entry.op == OP_STORE:
+                    latency = hierarchy.store(entry.addr, cycle)
+                elif entry.op == OP_BRANCH:
+                    latency = self.specs[pool].latency
+                    if predictor.access(entry.pc, entry.taken, entry.target):
+                        mispredicts += 1
+                        redirect = cycle + latency + cfg.mispredict_penalty
+                        if redirect > fetch_stalled_until:
+                            fetch_stalled_until = redirect
+                else:
+                    latency = self.specs[pool].latency
+                entry.complete_at = cycle + latency
+
+            # Mark freshly completed results.
+            for entry in window:
+                if entry.issued and not entry.done and entry.complete_at <= cycle:
+                    entry.done = True
+
+            # ---- dispatch stage -----------------------------------------
+            dispatched = 0
+            while (
+                next_fetch < n
+                and dispatched < cfg.issue_width
+                and len(window) < cfg.ruu_size
+                and cycle >= fetch_stalled_until
+            ):
+                op = trace.op[next_fetch]
+                is_mem = op == OP_LOAD or op == OP_STORE
+                if is_mem and lsq_used >= cfg.lsq_size:
+                    break
+                fetch_latency = hierarchy.fetch(trace.pc[next_fetch], cycle)
+                if fetch_latency > 1:
+                    fetch_stalled_until = cycle + fetch_latency - 1
+                entry = _Entry(
+                    index=next_fetch,
+                    op=op,
+                    dest=trace.dest[next_fetch],
+                    src1=trace.src1[next_fetch],
+                    src2=trace.src2[next_fetch],
+                    pc=trace.pc[next_fetch],
+                    addr=trace.addr[next_fetch],
+                    taken=trace.taken[next_fetch],
+                    target=trace.target[next_fetch],
+                )
+                # Rename sources to their youngest prior in-flight writer.
+                if entry.src1:
+                    entry.wait1 = writers.get(entry.src1)
+                if entry.src2:
+                    entry.wait2 = writers.get(entry.src2)
+                window.append(entry)
+                if is_mem:
+                    lsq_used += 1
+                    if op == OP_LOAD:
+                        loads += 1
+                    else:
+                        stores += 1
+                elif op == OP_BRANCH:
+                    branches += 1
+                if entry.dest:
+                    writers[entry.dest] = entry
+                dispatched += 1
+                next_fetch += 1
+                if fetch_latency > 1:
+                    break  # front end frozen by the iL1 miss
+
+            cycle += 1
+            if cycle > max_cycles_guard:  # pragma: no cover - safety net
+                raise RuntimeError("reference pipeline wedged")
+
+        return PipelineResult(
+            cycles=cycle,
+            instructions=n,
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            mispredicts=mispredicts,
+            predictor_stats=predictor.stats,
+        )

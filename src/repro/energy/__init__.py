@@ -1,0 +1,25 @@
+"""Dynamic-energy substrate: CACTI-style array model + run accounting."""
+
+from repro.energy.accounting import EnergyBreakdown, EnergyParams, energy_of
+from repro.energy.area import (
+    LEAKAGE_NW_PER_KBIT,
+    ReliabilityAreaComparison,
+    StorageBreakdown,
+    compare_reliability_areas,
+    storage_breakdown,
+)
+from repro.energy.cacti import EnergyEstimate, access_energy, l1_l2_energies
+
+__all__ = [
+    "LEAKAGE_NW_PER_KBIT",
+    "ReliabilityAreaComparison",
+    "StorageBreakdown",
+    "compare_reliability_areas",
+    "storage_breakdown",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "energy_of",
+    "EnergyEstimate",
+    "access_energy",
+    "l1_l2_energies",
+]

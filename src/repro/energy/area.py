@@ -1,0 +1,127 @@
+"""Storage-overhead and leakage model: the paper's area arithmetic.
+
+Section 1 prices the protection options by storage: byte parity adds one
+bit per 8 ("12.5% extra overhead"), and an 8-bit SEC-DED per 64-bit word
+costs the same 12.5%.  ICR's own additions are tiny: one replica/primary
+bit per line (Section 3.1) and the 2-bit decay counter (Section 2,
+"0.39% space overhead for a 64 byte line size").  The dedicated
+alternatives — an R-Cache or a victim cache — add whole extra arrays,
+with their own leakage.
+
+This module computes those overheads exactly so the comparison benches
+can report them, and provides a simple leakage-power model (leakage is
+proportional to bit count, the first-order truth the cache-decay line of
+work is built on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.set_assoc import CacheGeometry
+
+#: Leakage per kilobit of SRAM, normalized units (nW/kbit).  Only ratios
+#: between arrays matter for the comparisons.
+LEAKAGE_NW_PER_KBIT = 25.0
+
+#: Tag bits per line for a 32-bit address space (rough, size-dependent
+#: terms ignored — identical across compared configurations).
+TAG_BITS = 20
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Bit census of one protected cache array."""
+
+    data_bits: int
+    tag_bits: int
+    protection_bits: int  # parity or SEC-DED check bits
+    icr_bits: int  # replica/primary flag + decay counters
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits + self.tag_bits + self.protection_bits + self.icr_bits
+
+    @property
+    def protection_overhead(self) -> float:
+        """Check bits as a fraction of data bits (the paper's 12.5%)."""
+        return self.protection_bits / self.data_bits
+
+    @property
+    def icr_overhead(self) -> float:
+        """ICR metadata as a fraction of data bits (the paper's ~0.4%)."""
+        return self.icr_bits / self.data_bits
+
+    def leakage_nw(self) -> float:
+        return LEAKAGE_NW_PER_KBIT * self.total_bits / 1024.0
+
+
+def storage_breakdown(
+    geometry: CacheGeometry,
+    *,
+    protected: bool = True,
+    icr: bool = False,
+) -> StorageBreakdown:
+    """Bit census for an array of the given geometry.
+
+    *protected* adds the 12.5% parity/SEC-DED check bits (both codes cost
+    8 bits per 64 data bits); *icr* adds the per-line replica flag and the
+    2-bit decay counter.
+    """
+    n_lines = geometry.n_sets * geometry.associativity
+    data_bits = n_lines * geometry.block_size * 8
+    protection_bits = data_bits // 8 if protected else 0
+    icr_bits = n_lines * 3 if icr else 0  # 1 flag + 2 counter bits
+    return StorageBreakdown(
+        data_bits=data_bits,
+        tag_bits=n_lines * TAG_BITS,
+        protection_bits=protection_bits,
+        icr_bits=icr_bits,
+    )
+
+
+@dataclass(frozen=True)
+class ReliabilityAreaComparison:
+    """Extra storage each reliability option adds over a plain parity dL1."""
+
+    option: str
+    extra_bits: int
+    extra_leakage_nw: float
+    extra_fraction_of_dl1: float
+
+
+def compare_reliability_areas(
+    dl1_geometry: CacheGeometry,
+    *,
+    rcache_bytes: int = 2 * 1024,
+    victim_entries: int = 16,
+) -> list[ReliabilityAreaComparison]:
+    """Storage each option adds on top of a parity-protected dL1.
+
+    * ICR — the 3 metadata bits per line (check bits are reused);
+    * R-Cache — a dedicated duplicate array of *rcache_bytes*;
+    * victim cache — a fully-associative array of *victim_entries* lines;
+    * dual parity+ECC — the Section 6 strawman that "doubles the space
+      needed to store such auxiliary information".
+    """
+    base = storage_breakdown(dl1_geometry, protected=True, icr=False)
+    block = dl1_geometry.block_size
+
+    def extra(option: str, bits: int) -> ReliabilityAreaComparison:
+        return ReliabilityAreaComparison(
+            option=option,
+            extra_bits=bits,
+            extra_leakage_nw=LEAKAGE_NW_PER_KBIT * bits / 1024.0,
+            extra_fraction_of_dl1=bits / base.total_bits,
+        )
+
+    n_lines = dl1_geometry.n_sets * dl1_geometry.associativity
+    rcache_lines = rcache_bytes // block
+    rcache_bits = rcache_lines * (block * 8 + block + TAG_BITS)  # data+parity+tag
+    victim_bits = victim_entries * (block * 8 + block + TAG_BITS + 1)  # + dirty
+    return [
+        extra("ICR (flag + decay counters)", n_lines * 3),
+        extra(f"R-Cache {rcache_bytes}B", rcache_bits),
+        extra(f"victim cache {victim_entries} lines", victim_bits),
+        extra("dual parity+ECC", base.protection_bits),  # second check array
+    ]

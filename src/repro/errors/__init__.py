@@ -1,0 +1,26 @@
+"""Transient-fault injection: error models and the cycle-based injector."""
+
+from repro.errors.injector import FaultInjector
+from repro.errors.scrubber import Scrubber, ScrubberStats
+from repro.errors.models import (
+    MODELS,
+    AdjacentModel,
+    ColumnModel,
+    DirectModel,
+    FaultSite,
+    RandomModel,
+    make_model,
+)
+
+__all__ = [
+    "FaultInjector",
+    "Scrubber",
+    "ScrubberStats",
+    "MODELS",
+    "AdjacentModel",
+    "ColumnModel",
+    "DirectModel",
+    "FaultSite",
+    "RandomModel",
+    "make_model",
+]

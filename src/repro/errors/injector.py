@@ -1,0 +1,93 @@
+"""The fault injector: *when* transient errors strike.
+
+The paper injects errors "at each clock cycle based on a constant
+probability" (Section 5.5).  Iterating every cycle is wasteful in a
+software simulator, so the injector draws the gap to the next fault from
+the geometric distribution — statistically identical to per-cycle Bernoulli
+trials with probability *p* — and applies the configured error model's
+fault sites when the simulated clock passes each strike time.
+
+The injector is attached to an :class:`~repro.core.icr_cache.ICRCache`
+built with ``track_data=True``; the cache calls :meth:`advance` at the
+start of every demand access.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.coding.hamming import CODEWORD_BITS
+from repro.coding.parity import WORD_BITS
+from repro.coding.protection import ProtectionKind
+from repro.errors.models import ErrorModel, FaultSite, make_model
+
+
+class FaultInjector:
+    """Injects bit flips into a cache's word storage over simulated time."""
+
+    def __init__(
+        self,
+        cache,
+        probability_per_cycle: float,
+        model: ErrorModel | str = "random",
+        seed: int = 12345,
+    ):
+        if not 0.0 <= probability_per_cycle < 1.0:
+            raise ValueError("per-cycle error probability must be in [0, 1)")
+        if not getattr(cache.config, "track_data", False):
+            raise ValueError("fault injection needs a cache with track_data=True")
+        self.cache = cache
+        self.probability = probability_per_cycle
+        self.model = make_model(model) if isinstance(model, str) else model
+        self.rng = random.Random(seed)
+        self._clock = 0
+        self._next_strike: Optional[int] = None
+        if probability_per_cycle > 0.0:
+            self._next_strike = self._draw_gap()
+        cache.injector = self
+
+    def _draw_gap(self) -> int:
+        """Geometric gap (in cycles) to the next fault; always >= 1."""
+        u = self.rng.random()
+        # Inverse-CDF sampling of Geometric(p) on {1, 2, ...}.
+        gap = int(math.log(1.0 - u) / math.log(1.0 - self.probability)) + 1
+        return self._clock + max(1, gap)
+
+    def advance(self, now: int) -> int:
+        """Apply every fault scheduled in (clock, now]; returns #flips."""
+        if self._next_strike is None:
+            self._clock = max(self._clock, now)
+            return 0
+        flips = 0
+        while self._next_strike <= now:
+            self._clock = self._next_strike
+            for site in self.model.sites(self.cache, self.rng):
+                self._apply(site)
+                flips += 1
+            self._next_strike = self._draw_gap()
+        self._clock = max(self._clock, now)
+        return flips
+
+    def _apply(self, site: FaultSite) -> None:
+        """Flip one stored bit, honouring the word's protection layout."""
+        block = self.cache.sets[site.set_index][site.way]
+        if not block.valid or block.words is None:
+            return
+        if site.word_index >= len(block.words):
+            return
+        word = block.words[site.word_index]
+        self.cache.stats.errors_injected += 1
+        if block.protection is ProtectionKind.ECC:
+            # Bits 0..71 address the full codeword.
+            word._cell.flip_bit(site.bit % CODEWORD_BITS)
+            return
+        if site.bit < WORD_BITS:
+            word._cell.flip_data_bit(site.bit)
+        else:
+            word._cell.flip_parity_bit(site.bit - WORD_BITS)
+
+    def force_fault(self, site: FaultSite) -> None:
+        """Apply a specific fault immediately (deterministic tests)."""
+        self._apply(site)

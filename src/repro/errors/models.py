@@ -1,0 +1,171 @@
+"""Transient-error models (Kim & Somani, ISCA 1999 — paper Section 5.5).
+
+Each model decides *where* a fault lands once the injector decides *when*
+one occurs:
+
+* ``random``   — one bit of one random word anywhere in the cache (the model
+  the paper reports results for);
+* ``direct``   — one bit of a recently used word (MRU line of a random
+  set), modeling strikes on actively-cycling cells;
+* ``adjacent`` — two horizontally adjacent bits of the same word, modeling
+  a single particle upsetting neighbouring cells;
+* ``column``   — the same bit position in two vertically adjacent lines of
+  a set, modeling a strike along a bitline column.
+
+Faults are expressed as ``FaultSite`` records; the injector applies them to
+the bit-accurate word storage.  Bit indices cover the *whole* protected
+word — data bits and check bits alike — since a real strike does not know
+which cells hold parity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.cache.block import CacheBlock
+from repro.coding.hamming import CODEWORD_BITS
+from repro.coding.parity import BYTES_PER_WORD, WORD_BITS
+from repro.coding.protection import ProtectionKind
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One bit flip at (set, way, word, bit-within-protected-word)."""
+
+    set_index: int
+    way: int
+    word_index: int
+    bit: int
+
+
+class ErrorModel(Protocol):
+    """Strategy choosing fault sites within a cache."""
+
+    name: str
+
+    def sites(self, cache, rng: random.Random) -> Iterable[FaultSite]: ...
+
+
+def _protected_bits(block: CacheBlock) -> int:
+    """Number of injectable bits per word for this line's protection."""
+    if block.protection is ProtectionKind.ECC:
+        return CODEWORD_BITS  # 72: data + check bits as one codeword
+    return WORD_BITS + BYTES_PER_WORD  # 64 data + 8 parity cells
+
+
+def _random_valid_line(cache, rng: random.Random, tries: int = 64):
+    """Pick a random valid line; ``None`` when the cache looks empty."""
+    n_sets = cache.geometry.n_sets
+    assoc = cache.geometry.associativity
+    for _ in range(tries):
+        set_index = rng.randrange(n_sets)
+        way = rng.randrange(assoc)
+        block = cache.sets[set_index][way]
+        if block.valid and block.words is not None:
+            return set_index, way, block
+    return None
+
+
+class RandomModel:
+    """A random bit of a random word present in the dL1 (paper default)."""
+
+    name = "random"
+
+    def sites(self, cache, rng: random.Random):
+        found = _random_valid_line(cache, rng)
+        if found is None:
+            return []
+        set_index, way, block = found
+        word = rng.randrange(len(block.words))
+        bit = rng.randrange(_protected_bits(block))
+        return [FaultSite(set_index, way, word, bit)]
+
+
+class DirectModel:
+    """A random bit of a *recently used* word (MRU line of a random set)."""
+
+    name = "direct"
+
+    def sites(self, cache, rng: random.Random):
+        n_sets = cache.geometry.n_sets
+        for _ in range(16):
+            set_index = rng.randrange(n_sets)
+            candidates = [
+                (way, b)
+                for way, b in enumerate(cache.sets[set_index])
+                if b.valid and b.words is not None
+            ]
+            if not candidates:
+                continue
+            way, block = max(candidates, key=lambda wb: wb[1].lru_stamp)
+            word = rng.randrange(len(block.words))
+            bit = rng.randrange(_protected_bits(block))
+            return [FaultSite(set_index, way, word, bit)]
+        return []
+
+
+class AdjacentModel:
+    """Two horizontally adjacent bits of the same word."""
+
+    name = "adjacent"
+
+    def sites(self, cache, rng: random.Random):
+        found = _random_valid_line(cache, rng)
+        if found is None:
+            return []
+        set_index, way, block = found
+        word = rng.randrange(len(block.words))
+        width = _protected_bits(block)
+        bit = rng.randrange(width - 1)
+        return [
+            FaultSite(set_index, way, word, bit),
+            FaultSite(set_index, way, word, bit + 1),
+        ]
+
+
+class ColumnModel:
+    """The same bit position in two vertically adjacent lines of a set."""
+
+    name = "column"
+
+    def sites(self, cache, rng: random.Random):
+        found = _random_valid_line(cache, rng)
+        if found is None:
+            return []
+        set_index, way, block = found
+        assoc = cache.geometry.associativity
+        word = rng.randrange(len(block.words))
+        width = _protected_bits(block)
+        bit = rng.randrange(width)
+        sites = [FaultSite(set_index, way, word, bit)]
+        # The vertically adjacent cell: the nearest other valid way.
+        for offset in range(1, assoc):
+            other_way = (way + offset) % assoc
+            other = cache.sets[set_index][other_way]
+            if other.valid and other.words is not None:
+                other_width = _protected_bits(other)
+                sites.append(
+                    FaultSite(set_index, other_way, word, min(bit, other_width - 1))
+                )
+                break
+        return sites
+
+
+MODELS: dict[str, type] = {
+    "random": RandomModel,
+    "direct": DirectModel,
+    "adjacent": AdjacentModel,
+    "column": ColumnModel,
+}
+
+
+def make_model(name: str) -> ErrorModel:
+    """Instantiate an error model by name."""
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown error model {name!r}; choose from {sorted(MODELS)}"
+        ) from None

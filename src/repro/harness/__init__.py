@@ -1,0 +1,33 @@
+"""Experiment harness: runners, per-figure reproduction, sweeps, reports."""
+
+from repro.harness.experiment import (
+    DEFAULT_INSTRUCTIONS,
+    MachineConfig,
+    SimulationResult,
+    normalized_cycles,
+    run_experiment,
+    run_schemes,
+)
+from repro.harness.figures import ALL_FIGURES, AGGRESSIVE, RELAXED, FigureResult
+from repro.harness.report import format_table, percent, relative
+from repro.harness.sweeps import SweepResult, decay_window_sweep, scheme_sweep, sweep
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "MachineConfig",
+    "SimulationResult",
+    "normalized_cycles",
+    "run_experiment",
+    "run_schemes",
+    "ALL_FIGURES",
+    "AGGRESSIVE",
+    "RELAXED",
+    "FigureResult",
+    "format_table",
+    "percent",
+    "relative",
+    "SweepResult",
+    "decay_window_sweep",
+    "scheme_sweep",
+    "sweep",
+]

@@ -1,0 +1,191 @@
+"""Top-level experiment runner: workload -> CPU -> ICR dL1 -> metrics.
+
+One :func:`run_experiment` call reproduces one bar of one figure: it builds
+the Table 1 machine around the requested dL1 scheme, generates (or reuses)
+the benchmark trace, runs the timing pipeline, and returns every Section
+4.1 metric plus the raw counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.cache.set_assoc import CacheGeometry
+from repro.core.config import ICRConfig
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+from repro.cpu.pipeline import OutOfOrderPipeline, PipelineConfig, PipelineResult
+from repro.energy.accounting import EnergyBreakdown, EnergyParams, energy_of
+from repro.errors.injector import FaultInjector
+from repro.workloads.generator import WorkloadProfile, trace_for
+from repro.workloads.spec2000 import profile_for
+
+#: Default trace length.  The paper runs 500M instructions on SimpleScalar;
+#: a pure-Python model uses shorter traces, long past dL1 warm-up (the
+#: convergence test in tests/test_integration_convergence.py verifies the
+#: metrics are stable at this scale).
+DEFAULT_INSTRUCTIONS = 200_000
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full Table 1 machine around the dL1 under study."""
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    parity_fraction: float = 0.15
+    ecc_fraction: float = 0.30
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produced."""
+
+    benchmark: str
+    scheme: str
+    instructions: int
+    cycles: int
+    pipeline: PipelineResult
+    dl1: dict[str, int]  # raw dL1 counters (CacheStats.snapshot())
+    miss_rate: float
+    load_miss_rate: float
+    replication_ability: float
+    second_replica_ability: float
+    loads_with_replica: float
+    unrecoverable_load_fraction: float
+    energy: EnergyBreakdown
+    write_buffer_stalls: int
+    # Present only when the run was started with measure_vulnerability.
+    vulnerability: Optional["VulnerabilityReport"] = None
+    # Raw iL1 counters (populated when icache_error_rate > 0).
+    l1i: Optional[dict] = None
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def run_experiment(
+    benchmark: Union[str, WorkloadProfile],
+    scheme: Union[str, ICRConfig],
+    *,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    machine: Optional[MachineConfig] = None,
+    error_rate: float = 0.0,
+    error_model: str = "random",
+    error_seed: int = 12345,
+    measure_vulnerability: bool = False,
+    scrub_period: Optional[int] = None,
+    trace_seed: int = 0,
+    warmup_instructions: int = 0,
+    icache_error_rate: float = 0.0,
+    **scheme_kwargs,
+) -> SimulationResult:
+    """Run one (benchmark, scheme) pair on the Table 1 machine.
+
+    *scheme* is a scheme name (see :mod:`repro.core.schemes`) or a prebuilt
+    :class:`ICRConfig`; extra keyword arguments (``decay_window``,
+    ``victim_policy``, ``leave_replicas_on_evict``, ``replica_distances``,
+    ...) are forwarded to :func:`repro.core.schemes.make_config` when a
+    name is given.  A nonzero *error_rate* turns on bit-accurate storage
+    and per-cycle Bernoulli fault injection (Section 5.5).
+    """
+    machine = machine or MachineConfig()
+    profile = profile_for(benchmark) if isinstance(benchmark, str) else benchmark
+
+    if isinstance(scheme, ICRConfig):
+        if scheme_kwargs:
+            raise ValueError("pass scheme kwargs only with a scheme *name*")
+        config = scheme
+    else:
+        if error_rate > 0.0:
+            scheme_kwargs.setdefault("track_data", True)
+        config = make_config(scheme, **scheme_kwargs)
+    if error_rate > 0.0 and not config.track_data:
+        raise ValueError("error injection requires track_data=True in the config")
+
+    dl1 = ICRCache(config)
+    hierarchy_config = machine.hierarchy
+    if icache_error_rate > 0.0 and not hierarchy_config.protected_icache:
+        from dataclasses import replace as _replace
+
+        hierarchy_config = _replace(hierarchy_config, protected_icache=True)
+    hierarchy = MemoryHierarchy(dl1, hierarchy_config)
+    if icache_error_rate > 0.0:
+        FaultInjector(
+            hierarchy.l1i, icache_error_rate, model=error_model, seed=error_seed + 1
+        )
+    if error_rate > 0.0:
+        FaultInjector(dl1, error_rate, model=error_model, seed=error_seed)
+    monitor = None
+    if measure_vulnerability:
+        from repro.reliability.vulnerability import VulnerabilityMonitor
+
+        monitor = VulnerabilityMonitor(dl1)
+    if scrub_period is not None:
+        from repro.errors.scrubber import Scrubber
+
+        Scrubber(dl1, period=scrub_period)
+    pipeline = OutOfOrderPipeline(hierarchy, machine.pipeline)
+
+    trace = trace_for(
+        profile, n_instructions + warmup_instructions, seed_offset=trace_seed
+    )
+    result = pipeline.run(trace, reset_stats_at=warmup_instructions)
+    vulnerability = monitor.finish(result.cycles) if monitor else None
+
+    params = EnergyParams.from_geometries(
+        config.geometry,
+        machine.hierarchy.l2_geometry,
+        parity_fraction=machine.parity_fraction,
+        ecc_fraction=machine.ecc_fraction,
+    )
+    stats = dl1.stats
+    return SimulationResult(
+        benchmark=profile.name,
+        scheme=config.name,
+        instructions=result.instructions,
+        cycles=result.cycles,
+        pipeline=result,
+        dl1=stats.snapshot(),
+        miss_rate=stats.miss_rate,
+        load_miss_rate=stats.load_miss_rate,
+        replication_ability=stats.replication_ability,
+        second_replica_ability=stats.second_replica_ability,
+        loads_with_replica=stats.loads_with_replica,
+        unrecoverable_load_fraction=stats.unrecoverable_load_fraction,
+        energy=energy_of(hierarchy.stats, params, cycles=result.cycles),
+        write_buffer_stalls=hierarchy.stats.write_buffer_stall_cycles,
+        vulnerability=vulnerability,
+        l1i=hierarchy.l1i.stats.snapshot() if icache_error_rate > 0.0 else None,
+    )
+
+
+def run_schemes(
+    benchmark: Union[str, WorkloadProfile],
+    schemes: list,
+    *,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    machine: Optional[MachineConfig] = None,
+    **scheme_kwargs,
+) -> dict[str, SimulationResult]:
+    """Run several schemes on the same benchmark trace (paired comparison)."""
+    results = {}
+    for scheme in schemes:
+        result = run_experiment(
+            benchmark,
+            scheme,
+            n_instructions=n_instructions,
+            machine=machine,
+            **scheme_kwargs,
+        )
+        results[result.scheme] = result
+    return results
+
+
+def normalized_cycles(results: dict[str, SimulationResult], base: str = "BaseP") -> dict[str, float]:
+    """Execution cycles of each scheme relative to *base* (Figure 9 style)."""
+    base_cycles = results[base].cycles
+    return {name: r.cycles / base_cycles for name, r in results.items()}

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (one bar per label).
+
+    Bars are scaled to the maximum value; useful for eyeballing figure
+    output in a terminal without plotting dependencies.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return ""
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak)) if value > 0 else 0
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)}  {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """0.036 -> '3.6%'."""
+    return f"{value * 100:.1f}%"
+
+
+def relative(value: float, base: float = 1.0) -> str:
+    """1.036 -> '+3.6%' (relative to *base*)."""
+    delta = (value / base - 1.0) * 100
+    sign = "+" if delta >= 0 else ""
+    return f"{sign}{delta:.1f}%"

@@ -1,0 +1,100 @@
+"""Generic parameter sweeps over the experiment runner.
+
+The figure functions in :mod:`repro.harness.figures` cover the paper's
+plots; this module provides the free-form sweep utilities used by the
+examples and by exploratory work (new decay windows, distance lists,
+scheme subsets, machine variations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.harness.experiment import (
+    DEFAULT_INSTRUCTIONS,
+    MachineConfig,
+    SimulationResult,
+    run_experiment,
+)
+from repro.harness.report import format_table
+
+
+@dataclass
+class SweepResult:
+    """Results of a sweep, indexed by (benchmark, point label)."""
+
+    parameter: str
+    results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+
+    def metric(self, name: str) -> dict[tuple[str, str], float]:
+        """Extract one metric (attribute name) across all points."""
+        return {key: getattr(r, name) for key, r in self.results.items()}
+
+    def table(self, metrics: Sequence[str]) -> str:
+        columns = ["benchmark", self.parameter] + list(metrics)
+        rows = []
+        for (bench, label), r in sorted(self.results.items()):
+            rows.append([bench, label] + [getattr(r, m) for m in metrics])
+        return format_table(columns, rows)
+
+
+def sweep(
+    parameter: str,
+    points: Iterable[tuple[str, dict]],
+    benchmarks: Sequence[str],
+    scheme: str = "ICR-P-PS(S)",
+    *,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    machine: Optional[MachineConfig] = None,
+    base_kwargs: Optional[dict] = None,
+) -> SweepResult:
+    """Run *scheme* on each benchmark at every sweep point.
+
+    *points* is an iterable of ``(label, kwargs)`` pairs; each ``kwargs``
+    dict is merged over *base_kwargs* and forwarded to
+    :func:`~repro.harness.experiment.run_experiment`.
+    """
+    out = SweepResult(parameter=parameter)
+    for bench in benchmarks:
+        for label, kwargs in points:
+            merged: dict[str, Any] = dict(base_kwargs or {})
+            merged.update(kwargs)
+            out.results[(bench, str(label))] = run_experiment(
+                bench,
+                scheme,
+                n_instructions=n_instructions,
+                machine=machine,
+                **merged,
+            )
+    return out
+
+
+def decay_window_sweep(
+    benchmarks: Sequence[str],
+    windows: Sequence[int] = (0, 250, 1000, 4000, 10000),
+    scheme: str = "ICR-P-PS(S)",
+    **kwargs,
+) -> SweepResult:
+    """The Section 5.3 sweep generalized to any benchmark set."""
+    points = [(str(w), {"decay_window": w}) for w in windows]
+    return sweep("decay_window", points, benchmarks, scheme, **kwargs)
+
+
+def scheme_sweep(
+    benchmarks: Sequence[str],
+    schemes: Sequence[str],
+    *,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+    scheme_kwargs: Optional[Callable[[str], dict]] = None,
+    **kwargs,
+) -> SweepResult:
+    """Run a set of schemes; sweep point label = scheme name."""
+    out = SweepResult(parameter="scheme")
+    for bench in benchmarks:
+        for scheme in schemes:
+            extra = scheme_kwargs(scheme) if scheme_kwargs else {}
+            out.results[(bench, scheme)] = run_experiment(
+                bench, scheme, n_instructions=n_instructions, **extra, **kwargs
+            )
+    return out

@@ -1,0 +1,23 @@
+"""Analytical reliability layer: exposure census, AVF, MTTF estimation."""
+
+from repro.reliability.mttf import (
+    MTTFEstimate,
+    fit_consumption_factor,
+    predicted_unrecoverable_rate,
+)
+from repro.reliability.vulnerability import (
+    ExposureClass,
+    VulnerabilityMonitor,
+    VulnerabilityReport,
+    classify_block,
+)
+
+__all__ = [
+    "MTTFEstimate",
+    "fit_consumption_factor",
+    "predicted_unrecoverable_rate",
+    "ExposureClass",
+    "VulnerabilityMonitor",
+    "VulnerabilityReport",
+    "classify_block",
+]

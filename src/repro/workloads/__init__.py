@@ -1,0 +1,29 @@
+"""Synthetic SPEC2000-like workloads driving the evaluation."""
+
+from repro.workloads.generator import (
+    BLOCK,
+    CHASE_BASE,
+    CODE_BASE,
+    HOT_BASE,
+    STACK_BASE,
+    STREAM_BASE,
+    WorkloadGenerator,
+    WorkloadProfile,
+    trace_for,
+)
+from repro.workloads.spec2000 import BENCHMARKS, PROFILES, profile_for
+
+__all__ = [
+    "BLOCK",
+    "CHASE_BASE",
+    "CODE_BASE",
+    "HOT_BASE",
+    "STACK_BASE",
+    "STREAM_BASE",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "trace_for",
+    "BENCHMARKS",
+    "PROFILES",
+    "profile_for",
+]

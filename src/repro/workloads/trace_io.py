@@ -1,0 +1,85 @@
+"""Trace persistence: save/load dynamic traces in a compact binary format.
+
+Long sweeps regenerate the same synthetic traces repeatedly; persisting
+them lets a cluster of runs (or an external tool) share one trace file.
+The format is deliberately simple and self-describing:
+
+    magic  b"ICRT"      4 bytes
+    version u32         currently 1
+    name_len u16 + utf-8 name
+    count  u64          dynamic instructions
+    8 zlib-compressed column blocks (op/dest/src1/src2/pc/addr/taken/target),
+    each prefixed with its compressed byte length (u64)
+
+Columns are stored as little-endian i64 (bool for ``taken``), matching the
+in-memory structure-of-arrays layout of :class:`repro.cpu.isa.Trace`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.cpu.isa import Trace
+
+_MAGIC = b"ICRT"
+_VERSION = 1
+_COLUMNS = ("op", "dest", "src1", "src2", "pc", "addr", "taken", "target")
+
+
+def _write_column(fh: BinaryIO, values, as_bool: bool) -> None:
+    if as_bool:
+        raw = bytes(1 if v else 0 for v in values)
+    else:
+        raw = struct.pack(f"<{len(values)}q", *values)
+    compressed = zlib.compress(raw, level=6)
+    fh.write(struct.pack("<Q", len(compressed)))
+    fh.write(compressed)
+
+
+def _read_column(fh: BinaryIO, count: int, as_bool: bool):
+    (length,) = struct.unpack("<Q", fh.read(8))
+    raw = zlib.decompress(fh.read(length))
+    if as_bool:
+        if len(raw) != count:
+            raise ValueError("corrupt trace file: bool column size mismatch")
+        return [b != 0 for b in raw]
+    if len(raw) != count * 8:
+        raise ValueError("corrupt trace file: column size mismatch")
+    return list(struct.unpack(f"<{count}q", raw))
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write *trace* to *path* in the ICRT binary format."""
+    trace.validate()
+    name_bytes = trace.name.encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<I", _VERSION))
+        fh.write(struct.pack("<H", len(name_bytes)))
+        fh.write(name_bytes)
+        fh.write(struct.pack("<Q", len(trace)))
+        for column in _COLUMNS:
+            _write_column(fh, getattr(trace, column), as_bool=column == "taken")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with open(path, "rb") as fh:
+        if fh.read(4) != _MAGIC:
+            raise ValueError(f"{path}: not an ICRT trace file")
+        (version,) = struct.unpack("<I", fh.read(4))
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported trace version {version}")
+        (name_len,) = struct.unpack("<H", fh.read(2))
+        name = fh.read(name_len).decode("utf-8")
+        (count,) = struct.unpack("<Q", fh.read(8))
+        trace = Trace(name=name)
+        for column in _COLUMNS:
+            setattr(
+                trace, column, _read_column(fh, count, as_bool=column == "taken")
+            )
+    trace.validate()
+    return trace

@@ -1,0 +1,85 @@
+"""Matrix smoke tests: every named scheme on a real workload.
+
+Cheap end-to-end coverage that no scheme variant has a broken path, with
+the cross-scheme invariants that must hold on paired traces.
+"""
+
+import pytest
+
+from repro.core.schemes import ALL_SCHEMES
+from repro.harness.experiment import run_experiment
+
+N = 12_000
+EXTRA_SCHEMES = ("BaseECC-spec", "BaseP-WT")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    results = {}
+    for scheme in ALL_SCHEMES + EXTRA_SCHEMES:
+        results[scheme] = run_experiment("vpr", scheme, n_instructions=N)
+    return results
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES + EXTRA_SCHEMES)
+def test_scheme_runs_and_reports(matrix, scheme):
+    r = matrix[scheme]
+    assert r.cycles > N / 4  # cannot beat the issue width
+    assert 0.0 <= r.miss_rate <= 1.0
+    assert 0.0 <= r.loads_with_replica <= 1.0
+    assert r.energy.total_nj > 0
+    snapshot = r.dl1
+    assert snapshot["loads"] + snapshot["stores"] > 0
+    assert snapshot["load_hits"] + snapshot["load_misses"] == snapshot["loads"]
+
+
+class TestCrossSchemeInvariants:
+    def test_basep_is_fastest(self, matrix):
+        fastest = min(
+            (r.cycles for name, r in matrix.items() if name != "BaseECC-spec"),
+        )
+        assert matrix["BaseP"].cycles == fastest or (
+            matrix["BaseP"].cycles <= fastest * 1.001
+        )
+
+    def test_base_schemes_never_replicate(self, matrix):
+        for name in ("BaseP", "BaseECC", "BaseECC-spec", "BaseP-WT"):
+            assert matrix[name].dl1["replication_attempts"] == 0
+
+    def test_all_icr_schemes_replicate(self, matrix):
+        for name in ALL_SCHEMES:
+            if name.startswith("ICR"):
+                assert matrix[name].dl1["replication_successes"] > 0, name
+
+    def test_trigger_pairs_share_cache_behaviour(self, matrix):
+        """PS vs PP with the same trigger differ only in load latency."""
+        for trigger in ("S", "LS"):
+            ps = matrix[f"ICR-P-PS({trigger})"]
+            pp = matrix[f"ICR-P-PP({trigger})"]
+            assert ps.miss_rate == pp.miss_rate
+            assert ps.loads_with_replica == pp.loads_with_replica
+            assert ps.cycles <= pp.cycles
+
+    def test_protection_pairs_share_cache_behaviour(self, matrix):
+        """P vs ECC protection changes latency/energy, not placement."""
+        for trigger in ("S", "LS"):
+            p = matrix[f"ICR-P-PS({trigger})"]
+            e = matrix[f"ICR-ECC-PS({trigger})"]
+            assert p.miss_rate == e.miss_rate
+            assert p.replication_ability == e.replication_ability
+            assert p.cycles <= e.cycles
+
+    def test_ls_attempts_at_least_s(self, matrix):
+        assert (
+            matrix["ICR-P-PS(LS)"].dl1["replication_attempts"]
+            >= matrix["ICR-P-PS(S)"].dl1["replication_attempts"]
+        )
+
+    def test_ecc_energy_exceeds_parity_energy(self, matrix):
+        assert (
+            matrix["BaseECC"].energy.l1_checks_nj
+            > matrix["BaseP"].energy.l1_checks_nj
+        )
+
+    def test_write_through_maximizes_l2_traffic(self, matrix):
+        assert matrix["BaseP-WT"].energy.l2_nj > matrix["BaseP"].energy.l2_nj

@@ -1,0 +1,104 @@
+"""Tests for cache-line state."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.coding.protection import ProtectionKind
+
+
+class TestLifecycle:
+    def test_fresh_block_invalid(self):
+        block = CacheBlock()
+        assert not block.valid
+        assert block.block_addr == -1
+
+    def test_fill_sets_state(self):
+        block = CacheBlock()
+        block.fill(0x123, 50, is_replica=True, dirty=False)
+        assert block.valid
+        assert block.block_addr == 0x123
+        assert block.is_replica
+        assert block.last_access_cycle == 50
+
+    def test_invalidate_clears_everything(self):
+        block = CacheBlock()
+        block.fill(0x123, 50, dirty=True)
+        block.invalidate()
+        assert not block.valid
+        assert not block.dirty
+        assert block.replica_refs == []
+        assert block.primary_ref is None
+
+    def test_fill_resets_links(self):
+        block = CacheBlock()
+        other = CacheBlock()
+        block.fill(0x1, 0)
+        block.replica_refs.append(other)
+        block.fill(0x2, 1)
+        assert block.replica_refs == []
+
+    def test_touch_is_monotonic(self):
+        block = CacheBlock()
+        block.fill(0x1, 100)
+        block.touch(50)  # out-of-order timestamp must not rewind
+        assert block.last_access_cycle == 100
+        block.touch(200)
+        assert block.last_access_cycle == 200
+
+    def test_has_replica(self):
+        block = CacheBlock()
+        block.fill(0x1, 0)
+        assert not block.has_replica
+        block.replica_refs.append(CacheBlock())
+        assert block.has_replica
+
+
+class TestWordStorage:
+    def test_materialize_words(self):
+        block = CacheBlock()
+        block.fill(0x1, 0)
+        values = list(range(8))
+        block.materialize_words(ProtectionKind.PARITY, values)
+        assert block.golden == values
+        assert [w.raw_data for w in block.words] == values
+
+    def test_write_word_updates_golden(self):
+        block = CacheBlock()
+        block.fill(0x1, 0)
+        block.materialize_words(ProtectionKind.PARITY, [0] * 8)
+        block.write_word(3, 0xFF)
+        assert block.golden[3] == 0xFF
+        assert block.words[3].raw_data == 0xFF
+
+    def test_write_word_without_storage_raises(self):
+        block = CacheBlock()
+        block.fill(0x1, 0)
+        with pytest.raises(RuntimeError):
+            block.write_word(0, 1)
+
+    def test_reprotect_reencodes(self):
+        block = CacheBlock()
+        block.fill(0x1, 0)
+        block.materialize_words(ProtectionKind.ECC, [7] * 8)
+        block.reprotect(ProtectionKind.PARITY)
+        assert block.protection is ProtectionKind.PARITY
+        assert all(w.kind is ProtectionKind.PARITY for w in block.words)
+        assert all(w.raw_data == 7 for w in block.words)
+
+    def test_reprotect_locks_in_latent_corruption(self):
+        """The recompute runs over current (possibly bad) data — by design."""
+        block = CacheBlock()
+        block.fill(0x1, 0)
+        block.materialize_words(ProtectionKind.PARITY, [0] * 8)
+        block.words[0].flip_data_bit(0)  # latent error
+        block.reprotect(ProtectionKind.ECC)
+        outcome = block.words[0].read()
+        assert not outcome.error_detected  # silently re-encoded
+        assert outcome.data != block.golden[0]  # observable via golden
+
+    def test_reprotect_without_words_only_changes_kind(self):
+        block = CacheBlock()
+        block.fill(0x1, 0)
+        block.reprotect(ProtectionKind.ECC)
+        assert block.protection is ProtectionKind.ECC
+        assert block.words is None

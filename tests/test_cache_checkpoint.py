@@ -1,0 +1,89 @@
+"""Tests for cache-state checkpointing."""
+
+import random
+
+import pytest
+
+from repro.cache.checkpoint import restore_checkpoint, take_checkpoint
+from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+
+
+def warm_plain_cache():
+    cache = SetAssociativeCache(CacheGeometry(2 * 1024, 2, 64))
+    rng = random.Random(5)
+    for now in range(300):
+        cache.access(rng.randrange(1 << 14) & ~7, rng.random() < 0.3, now)
+    return cache
+
+
+def warm_icr_cache():
+    cache = ICRCache(make_config("ICR-P-PS(S)", decay_window=0))
+    rng = random.Random(7)
+    for now in range(600):
+        cache.access(rng.randrange(1 << 15) & ~7, rng.random() < 0.3, now)
+    return cache
+
+
+def contents(cache):
+    return {
+        (si, w, b.block_addr, b.dirty, b.is_replica)
+        for si, w, b in cache.iter_valid_blocks()
+    }
+
+
+class TestRoundTrip:
+    def test_plain_cache_roundtrip(self):
+        source = warm_plain_cache()
+        snapshot = take_checkpoint(source)
+        target = SetAssociativeCache(CacheGeometry(2 * 1024, 2, 64))
+        restore_checkpoint(target, snapshot)
+        assert contents(target) == contents(source)
+
+    def test_icr_cache_roundtrip_preserves_links(self):
+        source = warm_icr_cache()
+        snapshot = take_checkpoint(source)
+        target = ICRCache(make_config("ICR-P-PS(S)", decay_window=0))
+        restore_checkpoint(target, snapshot)
+        assert contents(target) == contents(source)
+        # Link integrity in the restored cache.
+        for _, _, block in target.iter_valid_blocks():
+            for replica in block.replica_refs:
+                assert replica.primary_ref is block
+            if block.is_replica and block.primary_ref is not None:
+                assert block in block.primary_ref.replica_refs
+
+    def test_restored_cache_behaves_identically(self):
+        source = warm_plain_cache()
+        snapshot = take_checkpoint(source)
+        target = SetAssociativeCache(CacheGeometry(2 * 1024, 2, 64))
+        restore_checkpoint(target, snapshot)
+        rng = random.Random(9)
+        for now in range(300, 500):
+            addr = rng.randrange(1 << 14) & ~7
+            write = rng.random() < 0.3
+            assert source.access(addr, write, now) == target.access(addr, write, now)
+
+    def test_snapshot_is_immutable_against_future_accesses(self):
+        source = warm_plain_cache()
+        snapshot = take_checkpoint(source)
+        before = snapshot.valid_lines
+        for now in range(300, 400):
+            source.access(now * 64, True, now)
+        assert snapshot.valid_lines == before
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        snapshot = take_checkpoint(warm_plain_cache())
+        other = SetAssociativeCache(CacheGeometry(4 * 1024, 4, 64))
+        with pytest.raises(ValueError):
+            restore_checkpoint(other, snapshot)
+
+    def test_restore_clears_previous_contents(self):
+        snapshot = take_checkpoint(warm_plain_cache())
+        target = SetAssociativeCache(CacheGeometry(2 * 1024, 2, 64))
+        target.access(0xDEAD00, True, 0)
+        restore_checkpoint(target, snapshot)
+        assert target.probe(0xDEAD00 >> 6) is None

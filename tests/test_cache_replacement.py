@@ -1,0 +1,159 @@
+"""Tests for the replacement-policy variants."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import (
+    FIFO,
+    RandomReplacement,
+    TreePLRU,
+    TrueLRU,
+    make_replacement_policy,
+)
+from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
+
+
+def valid_ways(n):
+    ways = []
+    for i in range(n):
+        b = CacheBlock()
+        b.fill(i, 0)
+        b.lru_stamp = i
+        return_ways = ways.append(b)
+    return ways
+
+
+class TestFactory:
+    def test_all_policies_constructible(self):
+        for name in ("lru", "fifo", "random", "plru"):
+            assert make_replacement_policy(name, 4).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_replacement_policy("belady", 4)
+
+    def test_plru_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRU(3)
+
+
+class TestTrueLRU:
+    def test_invalid_first(self):
+        ways = valid_ways(2) + [CacheBlock()]
+        assert TrueLRU().victim_way(0, ways) == 2
+
+    def test_min_stamp(self):
+        ways = valid_ways(4)
+        ways[2].lru_stamp = -5
+        assert TrueLRU().victim_way(0, ways) == 2
+
+
+class TestFIFO:
+    def test_round_robin_fill_order(self):
+        policy = FIFO()
+        ways = valid_ways(2)
+        first = policy.victim_way(0, ways)
+        second = policy.victim_way(0, ways)
+        third = policy.victim_way(0, ways)
+        assert first != second
+        assert third == first  # wrapped around
+
+    def test_touch_is_ignored(self):
+        policy = FIFO()
+        ways = valid_ways(2)
+        a = policy.victim_way(0, ways)
+        policy.on_touch(0, a)  # touching must not refresh
+        b = policy.victim_way(0, ways)
+        assert b != a
+
+
+class TestRandom:
+    def test_deterministic_sequence(self):
+        ways = valid_ways(4)
+        a = RandomReplacement(seed=1)
+        b = RandomReplacement(seed=1)
+        seq_a = [a.victim_way(0, ways) for _ in range(20)]
+        seq_b = [b.victim_way(0, ways) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_covers_all_ways(self):
+        ways = valid_ways(4)
+        policy = RandomReplacement(seed=7)
+        seen = {policy.victim_way(0, ways) for _ in range(100)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestTreePLRU:
+    def test_textbook_sequence(self):
+        # Touch 0, 2, 1, 3: every subtree bit now points at way 0 — the
+        # canonical tree-PLRU walk-through.
+        policy = TreePLRU(4)
+        ways = valid_ways(4)
+        for way in (0, 2, 1, 3):
+            policy.on_touch(0, way)
+        assert policy.victim_way(0, ways) == 0
+
+    def test_never_victimizes_most_recent(self):
+        policy = TreePLRU(4)
+        ways = valid_ways(4)
+        for way in (3, 1, 0, 2):
+            policy.on_touch(0, way)
+            assert policy.victim_way(0, ways) != way
+
+    def test_single_way_degenerate(self):
+        policy = TreePLRU(1)
+        ways = valid_ways(1)
+        assert policy.victim_way(0, ways) == 0
+
+    def test_alternating_touches(self):
+        policy = TreePLRU(2)
+        ways = valid_ways(2)
+        policy.on_touch(0, 0)
+        assert policy.victim_way(0, ways) == 1
+        policy.on_touch(0, 1)
+        assert policy.victim_way(0, ways) == 0
+
+    def test_per_set_state_independent(self):
+        policy = TreePLRU(2)
+        ways = valid_ways(2)
+        policy.on_touch(0, 0)
+        # Set 1 was never touched; default victim there is way 0.
+        assert policy.victim_way(1, ways) == 0
+        assert policy.victim_way(0, ways) == 1
+
+
+class TestIntegration:
+    def _run(self, replacement, accesses=400):
+        import random
+
+        rng = random.Random(3)
+        cache = SetAssociativeCache(
+            CacheGeometry(2 * 1024, 4, 64), replacement=replacement
+        )
+        hits = 0
+        hot = [rng.randrange(64) * 64 for _ in range(24)]
+        for now in range(accesses):
+            addr = rng.choice(hot) if rng.random() < 0.8 else rng.randrange(1 << 16)
+            if cache.access(addr, False, now):
+                hits += 1
+        return hits, cache
+
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "random", "plru"])
+    def test_every_policy_runs_clean(self, replacement):
+        hits, cache = self._run(replacement)
+        assert hits > 0
+        assert cache.stats.accesses == 400
+
+    def test_plru_close_to_lru(self):
+        lru_hits, _ = self._run("lru")
+        plru_hits, _ = self._run("plru")
+        assert plru_hits >= lru_hits * 0.85  # good approximation
+
+    def test_icr_runs_with_plru(self):
+        from repro.harness.experiment import run_experiment
+
+        result = run_experiment(
+            "gzip", "ICR-P-PS(S)", n_instructions=10_000, replacement="plru"
+        )
+        assert result.cycles > 0
+        assert result.replication_ability >= 0.0

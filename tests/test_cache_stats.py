@@ -1,0 +1,77 @@
+"""Tests for the statistics containers and derived metrics."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, HierarchyStats
+
+
+class TestDerivedMetrics:
+    def test_miss_rate(self):
+        s = CacheStats(loads=6, stores=4, load_misses=2, store_misses=1)
+        assert s.miss_rate == pytest.approx(0.3)
+
+    def test_load_miss_rate(self):
+        s = CacheStats(loads=10, load_misses=4)
+        assert s.load_miss_rate == pytest.approx(0.4)
+
+    def test_replication_ability(self):
+        s = CacheStats(replication_attempts=8, replication_successes=2)
+        assert s.replication_ability == pytest.approx(0.25)
+
+    def test_loads_with_replica(self):
+        s = CacheStats(load_hits=10, load_hits_with_replica=7)
+        assert s.loads_with_replica == pytest.approx(0.7)
+
+    def test_unrecoverable_fraction(self):
+        s = CacheStats(loads=1000, load_errors_unrecoverable=3)
+        assert s.unrecoverable_load_fraction == pytest.approx(0.003)
+
+    def test_zero_denominators_are_zero(self):
+        s = CacheStats()
+        assert s.miss_rate == 0.0
+        assert s.load_miss_rate == 0.0
+        assert s.replication_ability == 0.0
+        assert s.second_replica_ability == 0.0
+        assert s.loads_with_replica == 0.0
+        assert s.unrecoverable_load_fraction == 0.0
+
+    def test_accesses_hits_misses(self):
+        s = CacheStats(
+            loads=5, stores=3, load_hits=4, load_misses=1,
+            store_hits=2, store_misses=1,
+        )
+        assert s.accesses == 8
+        assert s.hits == 6
+        assert s.misses == 2
+
+
+class TestMergeAndSnapshot:
+    def test_merge_adds_counters(self):
+        a = CacheStats(loads=1, parity_checks=2)
+        b = CacheStats(loads=3, parity_checks=4, writebacks=1)
+        a.merge(b)
+        assert a.loads == 4
+        assert a.parity_checks == 6
+        assert a.writebacks == 1
+
+    def test_snapshot_is_plain_dict(self):
+        s = CacheStats(loads=2)
+        snap = s.snapshot()
+        assert snap["loads"] == 2
+        snap["loads"] = 99
+        assert s.loads == 2  # copy, not a view
+
+    def test_snapshot_covers_every_field(self):
+        import dataclasses
+
+        s = CacheStats()
+        assert set(s.snapshot()) == {f.name for f in dataclasses.fields(s)}
+
+
+class TestHierarchyStats:
+    def test_default_levels_independent(self):
+        h = HierarchyStats()
+        h.l1d.loads = 5
+        assert h.l2.loads == 0
+        assert h.l1i.loads == 0
+        assert h.memory_accesses == 0

@@ -1,0 +1,77 @@
+"""Tests for the coalescing write buffer (Section 5.8 substrate)."""
+
+import pytest
+
+from repro.cache.write_buffer import CoalescingWriteBuffer
+
+
+@pytest.fixture
+def wb():
+    return CoalescingWriteBuffer(entries=4, drain_cycles=6)
+
+
+class TestBasicOperation:
+    def test_push_into_empty_buffer_never_stalls(self, wb):
+        assert wb.push(1, now=0) == 0
+
+    def test_occupancy_counts_undrained_entries(self, wb):
+        wb.push(1, 0)
+        wb.push(2, 0)
+        assert wb.occupancy(0) == 2
+
+    def test_entries_drain_over_time(self, wb):
+        wb.push(1, 0)
+        assert wb.occupancy(5) == 1
+        assert wb.occupancy(6) == 0
+
+    def test_drain_serializes_on_port(self, wb):
+        # Two entries pushed together: second finishes at 12, not 6.
+        wb.push(1, 0)
+        wb.push(2, 0)
+        assert wb.occupancy(6) == 1
+        assert wb.occupancy(12) == 0
+
+
+class TestCoalescing:
+    def test_same_block_coalesces(self, wb):
+        wb.push(7, 0)
+        stall = wb.push(7, 1)
+        assert stall == 0
+        assert wb.stats.coalesced == 1
+        assert wb.occupancy(1) == 1
+
+    def test_coalesced_stores_do_not_allocate(self, wb):
+        for _ in range(10):
+            wb.push(7, 0)
+        assert wb.occupancy(0) == 1
+        assert wb.stats.enqueues == 1
+
+
+class TestFullBufferStalls:
+    def test_full_buffer_stalls_until_oldest_drains(self, wb):
+        for block in range(4):
+            wb.push(block, 0)
+        stall = wb.push(99, 0)
+        # Oldest entry drains at cycle 6.
+        assert stall == 6
+        assert wb.stats.full_stalls == 1
+        assert wb.stats.stall_cycles == 6
+
+    def test_no_stall_when_pushed_after_drain(self, wb):
+        for block in range(4):
+            wb.push(block, 0)
+        assert wb.push(99, now=30) == 0
+
+    def test_burst_stall_accumulates(self):
+        wb = CoalescingWriteBuffer(entries=2, drain_cycles=10)
+        stalls = [wb.push(i, 0) for i in range(6)]
+        assert stalls[0] == 0 and stalls[1] == 0
+        assert all(s > 0 for s in stalls[2:])
+        # Later pushes wait longer (the port serializes at 10 cycles each).
+        assert stalls[3] >= stalls[2]
+
+
+class TestValidation:
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            CoalescingWriteBuffer(entries=0)

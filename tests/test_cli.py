@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "mcf" in out
+        assert "ICR-P-PS(S)" in out
+        assert "fig14" in out
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        assert main(["run", "gzip", "BaseP", "--instructions", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "BaseP on gzip" in out
+        assert "miss rate" in out
+
+    def test_scheme_knobs(self, capsys):
+        code = main(
+            [
+                "run", "gzip", "ICR-P-PS(S)",
+                "--instructions", "5000",
+                "--decay-window", "1000",
+                "--victim", "dead-first",
+                "--leave-replicas",
+            ]
+        )
+        assert code == 0
+        assert "loads w/ replica" in capsys.readouterr().out
+
+    def test_error_injection_output(self, capsys):
+        main(
+            [
+                "run", "vortex", "BaseP",
+                "--instructions", "10000",
+                "--error-rate", "1e-2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "injected" in out
+
+    def test_vulnerability_output(self, capsys):
+        main(["run", "gzip", "BaseP", "--instructions", "5000", "--vulnerability"])
+        assert "AVF" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nosuch", "BaseP"])
+
+
+class TestCompare:
+    def test_table_has_all_schemes(self, capsys):
+        assert main(["compare", "gzip", "--instructions", "5000"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("BaseP", "BaseECC", "ICR-ECC-PP(LS)"):
+            assert scheme in out
+
+    def test_relaxed_flag(self, capsys):
+        assert main(["compare", "gzip", "--instructions", "5000", "--relaxed"]) == 0
+
+
+class TestFigure:
+    def test_runs_a_figure(self, capsys):
+        assert main(["figure", "fig10", "--instructions", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "decay window" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,98 @@
+"""Tests for the cache-decay dead-block predictor."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.core.decay import SATURATION_TICKS, DeadBlockPredictor
+
+
+def make_block(last_access=0):
+    block = CacheBlock()
+    block.fill(0x100, last_access)
+    return block
+
+
+class TestAggressiveWindow:
+    def test_window_zero_everything_dead(self):
+        predictor = DeadBlockPredictor(0)
+        block = make_block(last_access=100)
+        assert predictor.is_dead(block, 100)
+        assert predictor.is_dead(block, 101)
+
+    def test_window_zero_counter_saturated(self):
+        predictor = DeadBlockPredictor(0)
+        assert predictor.counter_value(make_block(), 0) == SATURATION_TICKS
+
+
+class TestDisabledDecay:
+    def test_none_window_never_dead(self):
+        predictor = DeadBlockPredictor(None)
+        block = make_block(last_access=0)
+        assert not predictor.is_dead(block, 10**9)
+
+    def test_none_window_counter_is_zero(self):
+        predictor = DeadBlockPredictor(None)
+        assert predictor.counter_value(make_block(), 10**9) == 0
+
+
+class TestFiniteWindow:
+    def test_tick_period_is_quarter_window(self):
+        assert DeadBlockPredictor(1000).tick_period == 250
+
+    def test_fresh_block_alive(self):
+        predictor = DeadBlockPredictor(1000)
+        block = make_block(last_access=0)
+        assert not predictor.is_dead(block, 0)
+        assert not predictor.is_dead(block, 999 - 1)
+
+    def test_dead_after_four_ticks(self):
+        predictor = DeadBlockPredictor(1000)
+        block = make_block(last_access=0)
+        assert predictor.is_dead(block, 1000)
+
+    def test_counter_increments_on_tick_boundaries(self):
+        predictor = DeadBlockPredictor(1000)
+        block = make_block(last_access=0)
+        assert predictor.counter_value(block, 0) == 0
+        assert predictor.counter_value(block, 249) == 0
+        assert predictor.counter_value(block, 250) == 1
+        assert predictor.counter_value(block, 750) == 3
+        assert predictor.counter_value(block, 1000) == 4
+
+    def test_counter_saturates(self):
+        predictor = DeadBlockPredictor(1000)
+        block = make_block(last_access=0)
+        assert predictor.counter_value(block, 10**6) == SATURATION_TICKS
+
+    def test_access_resets_deadness(self):
+        predictor = DeadBlockPredictor(1000)
+        block = make_block(last_access=0)
+        assert predictor.is_dead(block, 2000)
+        block.touch(2000)
+        assert not predictor.is_dead(block, 2100)
+
+    def test_aligned_ticks_not_relative(self):
+        """Ticks are global (aligned), like a shared hardware counter."""
+        predictor = DeadBlockPredictor(1000)
+        # Accessed just before a tick boundary: first tick arrives quickly.
+        block = make_block(last_access=249)
+        assert predictor.counter_value(block, 250) == 1
+
+    def test_invalid_block_is_dead(self):
+        predictor = DeadBlockPredictor(10**6)
+        block = CacheBlock()
+        assert predictor.is_dead(block, 0)
+
+
+class TestValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            DeadBlockPredictor(-1)
+
+    def test_storage_overhead(self):
+        predictor = DeadBlockPredictor(1000)
+        # 2 bits per line; 256 lines in the 16KB dL1 -> 512 bits = 64 bytes,
+        # the paper's 0.39% for 64-byte lines.
+        bits = predictor.storage_overhead_bits(256)
+        assert bits == 512
+        assert bits / (256 * 64 * 8) == pytest.approx(0.0039, abs=1e-4)

@@ -1,0 +1,302 @@
+"""Behavioural tests for the ICR data cache — the paper's core mechanism."""
+
+import pytest
+
+from repro.coding.protection import ProtectionKind
+from repro.core.config import VictimPolicy
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+
+N_SETS = 64  # default 16KB/4-way/64B geometry
+
+
+def addr(set_index: int, tag: int = 0, word: int = 0) -> int:
+    """Byte address mapping to *set_index* with a distinguishing tag."""
+    return (tag * N_SETS + set_index) * 64 + word * 8
+
+
+def make(scheme="ICR-P-PS(S)", **kwargs):
+    kwargs.setdefault("decay_window", 0)
+    kwargs.setdefault("replicate_into_invalid", True)
+    return ICRCache(make_config(scheme, **kwargs))
+
+
+def primary_of(cache, byte_addr):
+    return cache.probe(cache.geometry.block_addr(byte_addr))
+
+
+class TestReplicationTriggers:
+    def test_store_scheme_replicates_on_store_hit(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), False, 0)  # fill (no attempt under S)
+        assert cache.stats.replication_attempts == 0
+        cache.access(addr(0), True, 1)
+        assert cache.stats.replication_attempts == 1
+        assert primary_of(cache, addr(0)).has_replica
+
+    def test_store_scheme_replicates_on_store_miss(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        assert primary_of(cache, addr(0)).has_replica
+
+    def test_store_scheme_does_not_replicate_loads(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), False, 0)
+        cache.access(addr(0), False, 1)
+        assert not primary_of(cache, addr(0)).has_replica
+
+    def test_ls_scheme_replicates_on_load_miss(self):
+        cache = make("ICR-P-PS(LS)")
+        cache.access(addr(0), False, 0)
+        assert primary_of(cache, addr(0)).has_replica
+        assert cache.stats.replication_attempts == 1
+
+    def test_base_scheme_never_replicates(self):
+        cache = make("BaseP")
+        cache.access(addr(0), True, 0)
+        cache.access(addr(0), True, 1)
+        assert cache.stats.replication_attempts == 0
+        assert not primary_of(cache, addr(0)).has_replica
+
+    def test_no_second_attempt_while_replicated(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        cache.access(addr(0), True, 1)
+        assert cache.stats.replication_attempts == 1
+
+
+class TestReplicaPlacement:
+    def test_replica_lands_at_distance_n_over_2(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(3), True, 0)
+        replica = primary_of(cache, addr(3)).replica_refs[0]
+        home = (3 + N_SETS // 2) % N_SETS
+        assert replica in cache.sets[home]
+        assert replica.is_replica
+        assert replica.block_addr == cache.geometry.block_addr(addr(3))
+
+    def test_horizontal_distance_0_stays_in_set(self):
+        cache = make("ICR-P-PS(S)", replica_distances=("0",))
+        cache.access(addr(5), True, 0)
+        replica = primary_of(cache, addr(5)).replica_refs[0]
+        assert replica in cache.sets[5]
+
+    def test_horizontal_never_evicts_own_primary(self):
+        cache = make("ICR-P-PS(S)", replica_distances=("0",))
+        cache.access(addr(5), True, 0)
+        primary = primary_of(cache, addr(5))
+        assert primary is not None
+        assert primary.valid and not primary.is_replica
+
+    def test_multi_attempt_falls_back(self):
+        cache = make("ICR-P-PS(S)", replica_distances=("N/2", "N/4"),
+                     replicate_into_invalid=False, victim_policy=VictimPolicy.DEAD_ONLY)
+        target_a = (0 + 32) % N_SETS
+        target_b = (0 + 16) % N_SETS
+        # Fill the N/2 target set with replicas (not victim candidates).
+        for tag in range(4):
+            cache.access(addr(target_a - 32, tag=tag + 10), True, tag)
+        assert all(b.valid and b.is_replica for b in cache.sets[target_a]) or True
+        # Put a dead primary in the N/4 target.
+        cache.access(addr(target_b, tag=50), False, 90)
+        before = cache.stats.replication_successes
+        cache.access(addr(0, tag=60), True, 100)
+        primary = primary_of(cache, addr(0, tag=60))
+        if cache.stats.replication_successes > before:
+            replica_sets = [
+                si for si, ways in enumerate(cache.sets)
+                for b in ways
+                if b.valid and b.is_replica and b.block_addr == primary.block_addr
+            ]
+            assert replica_sets and replica_sets[0] in (target_a, target_b)
+
+    def test_replica_not_found_by_primary_probe(self):
+        """The is_replica bit prevents replica tags answering lookups."""
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(3), True, 0)
+        replica_home = (3 + 32) % N_SETS
+        # An access mapping to the replica's set with the replica's tag
+        # pattern must not hit on the replica.
+        assert primary_of(cache, addr(replica_home, tag=0)) is None
+
+
+class TestReplicaCoherence:
+    def test_store_updates_all_replicas(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        cache.access(addr(0), True, 1)
+        assert cache.stats.replica_updates == 1
+
+    def test_replica_updates_counted_per_replica(self):
+        cache = make(
+            "ICR-P-PS(S)",
+            max_replicas=2,
+            second_replica_distances=("N/4",),
+        )
+        cache.access(addr(0), True, 0)
+        assert len(primary_of(cache, addr(0)).replica_refs) == 2
+        cache.access(addr(0), True, 1)
+        assert cache.stats.replica_updates == 2
+
+    def test_replica_content_tracks_primary(self):
+        cache = make("ICR-P-PS(S)", track_data=True)
+        cache.access(addr(0, word=2), True, 0)
+        primary = primary_of(cache, addr(0))
+        replica = primary.replica_refs[0]
+        assert replica.golden == primary.golden
+        cache.access(addr(0, word=5), True, 1)
+        assert replica.golden == primary.golden
+        assert replica.words[5].raw_data == primary.words[5].raw_data
+
+
+class TestReplacementBehaviour:
+    def _evict_primary(self, cache, set_index):
+        """Fill *set_index* with new primaries until the original leaves."""
+        for tag in range(1, 6):
+            cache.access(addr(set_index, tag=tag), False, 100 + tag)
+
+    def test_drop_mode_invalidates_replicas(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        self._evict_primary(cache, 0)
+        assert cache.stats.replica_evictions >= 1
+        summary = cache.contents_summary()
+        target = (0 + 32) % N_SETS
+        assert not any(
+            b.valid and b.is_replica and b.block_addr == cache.geometry.block_addr(addr(0))
+            for b in cache.sets[target]
+        )
+
+    def test_leave_mode_keeps_orphan_replica(self):
+        cache = make("ICR-P-PS(S)", leave_replicas_on_evict=True)
+        cache.access(addr(0), True, 0)
+        self._evict_primary(cache, 0)
+        target = (0 + 32) % N_SETS
+        orphans = [
+            b
+            for b in cache.sets[target]
+            if b.valid and b.is_replica
+            and b.block_addr == cache.geometry.block_addr(addr(0))
+        ]
+        assert len(orphans) == 1
+        assert orphans[0].primary_ref is None
+
+    def test_leave_mode_replica_fill_on_miss(self):
+        cache = make("ICR-P-PS(S)", leave_replicas_on_evict=True)
+        cache.access(addr(0), True, 0)
+        self._evict_primary(cache, 0)
+        outcome = cache.access(addr(0), False, 200)
+        assert outcome.replica_fill
+        assert outcome.latency == 2
+        assert cache.stats.replica_fills == 1
+        # The block is a primary again and still linked to the replica.
+        primary = primary_of(cache, addr(0))
+        assert primary is not None and primary.has_replica
+
+    def test_drop_mode_miss_goes_to_l2(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        self._evict_primary(cache, 0)
+        outcome = cache.access(addr(0), False, 200)
+        assert not outcome.replica_fill
+        assert outcome.latency is None  # hierarchy must fetch from L2
+
+    def test_replica_eviction_unlinks_primary(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        primary = primary_of(cache, addr(0))
+        replica = primary.replica_refs[0]
+        cache.evict(replica)
+        assert not primary.has_replica
+
+    def test_dirty_primary_eviction_writes_back(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        self._evict_primary(cache, 0)
+        assert cache.stats.writebacks == 1
+
+    def test_replica_eviction_is_never_a_writeback(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        primary = primary_of(cache, addr(0))
+        cache.evict(primary.replica_refs[0])
+        assert cache.stats.writebacks == 0
+
+
+class TestProtectionSwitching:
+    def test_icr_ecc_line_switches_to_parity_when_replicated(self):
+        cache = make("ICR-ECC-PS(S)")
+        cache.access(addr(0), False, 0)
+        assert primary_of(cache, addr(0)).protection is ProtectionKind.ECC
+        cache.access(addr(0), True, 1)
+        assert primary_of(cache, addr(0)).protection is ProtectionKind.PARITY
+
+    def test_icr_ecc_line_reverts_when_replica_lost(self):
+        cache = make("ICR-ECC-PS(S)")
+        cache.access(addr(0), True, 0)
+        primary = primary_of(cache, addr(0))
+        cache.evict(primary.replica_refs[0])
+        assert primary.protection is ProtectionKind.ECC
+
+    def test_icr_p_lines_always_parity(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        assert primary_of(cache, addr(0)).protection is ProtectionKind.PARITY
+
+    def test_replicas_are_parity_protected(self):
+        cache = make("ICR-ECC-PS(S)")
+        cache.access(addr(0), True, 0)
+        replica = primary_of(cache, addr(0)).replica_refs[0]
+        assert replica.protection is ProtectionKind.PARITY
+
+
+class TestCountersAndMetrics:
+    def test_loads_with_replica_counted(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        cache.access(addr(0), False, 1)
+        cache.access(addr(1), False, 2)  # different set, no replica
+        cache.access(addr(1), False, 3)
+        assert cache.stats.load_hits_with_replica == 1
+        assert cache.stats.loads_with_replica == pytest.approx(1 / 2)
+
+    def test_pp_scheme_reads_replica_in_parallel(self):
+        cache = make("ICR-P-PP(S)")
+        cache.access(addr(0), True, 0)
+        reads_before = cache.stats.array_reads
+        cache.access(addr(0), False, 1)
+        assert cache.stats.array_reads == reads_before + 2  # primary + replica
+
+    def test_ps_scheme_reads_only_primary(self):
+        cache = make("ICR-P-PS(S)")
+        cache.access(addr(0), True, 0)
+        reads_before = cache.stats.array_reads
+        cache.access(addr(0), False, 1)
+        assert cache.stats.array_reads == reads_before + 1
+
+    def test_second_replica_counters(self):
+        cache = make(
+            "ICR-P-PS(S)", max_replicas=2, second_replica_distances=("N/4",)
+        )
+        cache.access(addr(0), True, 0)
+        assert cache.stats.second_replica_attempts == 1
+        assert cache.stats.second_replica_successes == 1
+
+    def test_dead_eviction_counted(self):
+        cache = make("ICR-P-PS(S)", replicate_into_invalid=False)
+        target = (0 + 32) % N_SETS
+        cache.access(addr(target, tag=9), False, 0)  # a (dead) primary there
+        cache.access(addr(0), True, 10)
+        assert cache.stats.dead_evictions == 1
+
+
+class TestWriteThroughMode:
+    def test_stores_do_not_dirty_blocks(self):
+        cache = make("BaseP-WT")
+        cache.access(addr(0), True, 0)
+        assert not primary_of(cache, addr(0)).dirty
+
+    def test_writeback_mode_dirties(self):
+        cache = make("BaseP")
+        cache.access(addr(0), True, 0)
+        assert primary_of(cache, addr(0)).dirty

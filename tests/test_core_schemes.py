@@ -1,0 +1,118 @@
+"""Tests for the named-scheme registry (Section 3.2)."""
+
+import pytest
+
+from repro.coding.protection import ProtectionKind
+from repro.core.config import LookupMode, ReplicationTrigger
+from repro.core.schemes import (
+    ALL_SCHEMES,
+    HEADLINE_SCHEMES,
+    iter_configs,
+    make_cache,
+    make_config,
+)
+
+
+class TestRegistry:
+    def test_all_ten_schemes_buildable(self):
+        assert len(ALL_SCHEMES) == 10
+        for name in ALL_SCHEMES:
+            config = make_config(name)
+            assert config.name == name
+
+    def test_headline_schemes_are_the_papers(self):
+        assert HEADLINE_SCHEMES == ("ICR-P-PS(S)", "ICR-ECC-PS(S)")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            make_config("ICR-X-PS(S)")
+        with pytest.raises(ValueError):
+            make_config("nonsense")
+
+
+class TestBaseSchemes:
+    def test_basep(self):
+        config = make_config("BaseP")
+        assert config.trigger is ReplicationTrigger.NONE
+        assert config.protection_unreplicated is ProtectionKind.PARITY
+        assert config.load_hit_latency(False) == 1
+
+    def test_baseecc(self):
+        config = make_config("BaseECC")
+        assert config.protection_unreplicated is ProtectionKind.ECC
+        assert config.load_hit_latency(False) == 2
+
+    def test_baseecc_spec(self):
+        config = make_config("BaseECC-spec")
+        assert config.speculative_ecc_loads
+        assert config.load_hit_latency(False) == 1
+
+    def test_basep_wt(self):
+        config = make_config("BaseP-WT")
+        assert config.write_policy == "writethrough"
+
+
+class TestICRSchemes:
+    @pytest.mark.parametrize(
+        "name,prot,lookup,trigger",
+        [
+            ("ICR-P-PS(LS)", ProtectionKind.PARITY, LookupMode.SERIAL,
+             ReplicationTrigger.LOADS_AND_STORES),
+            ("ICR-P-PS(S)", ProtectionKind.PARITY, LookupMode.SERIAL,
+             ReplicationTrigger.STORES),
+            ("ICR-P-PP(LS)", ProtectionKind.PARITY, LookupMode.PARALLEL,
+             ReplicationTrigger.LOADS_AND_STORES),
+            ("ICR-P-PP(S)", ProtectionKind.PARITY, LookupMode.PARALLEL,
+             ReplicationTrigger.STORES),
+            ("ICR-ECC-PS(LS)", ProtectionKind.ECC, LookupMode.SERIAL,
+             ReplicationTrigger.LOADS_AND_STORES),
+            ("ICR-ECC-PS(S)", ProtectionKind.ECC, LookupMode.SERIAL,
+             ReplicationTrigger.STORES),
+            ("ICR-ECC-PP(LS)", ProtectionKind.ECC, LookupMode.PARALLEL,
+             ReplicationTrigger.LOADS_AND_STORES),
+            ("ICR-ECC-PP(S)", ProtectionKind.ECC, LookupMode.PARALLEL,
+             ReplicationTrigger.STORES),
+        ],
+    )
+    def test_icr_scheme_decomposition(self, name, prot, lookup, trigger):
+        config = make_config(name)
+        assert config.protection_unreplicated is prot
+        assert config.lookup is lookup
+        assert config.trigger is trigger
+
+    def test_name_normalization(self):
+        assert make_config("icr-p-ps (s)").name == "ICR-P-PS(S)"
+        assert make_config("ICR-ECC-PP(LS)").name == "ICR-ECC-PP(LS)"
+
+
+class TestKnobForwarding:
+    def test_decay_window_forwarded(self):
+        assert make_config("ICR-P-PS(S)", decay_window=1000).decay_window == 1000
+
+    def test_geometry_forwarded(self):
+        from repro.cache.set_assoc import CacheGeometry
+
+        geometry = CacheGeometry(32 * 1024, 8, 64)
+        config = make_config("BaseP", geometry=geometry)
+        assert config.geometry.n_sets == 64
+
+    def test_leave_replicas_forwarded(self):
+        assert make_config(
+            "ICR-P-PS(S)", leave_replicas_on_evict=True
+        ).leave_replicas_on_evict
+
+    def test_make_cache_builds_icr_cache(self):
+        cache = make_cache("ICR-P-PS(S)")
+        assert cache.geometry.n_sets == 64
+        assert cache.config.name == "ICR-P-PS(S)"
+
+    def test_iter_configs_shares_knobs(self):
+        configs = iter_configs(["BaseP", "ICR-P-PS(S)"], decay_window=500)
+        assert all(c.decay_window == 500 for c in configs)
+
+    def test_base_schemes_ignore_replication_knobs(self):
+        # Base schemes force replication-related fields off.
+        config = make_config("BaseP", leave_replicas_on_evict=True, max_replicas=2,
+                             second_replica_distances=("N/4",))
+        assert not config.leave_replicas_on_evict
+        assert config.max_replicas == 1

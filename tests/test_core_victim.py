@@ -1,0 +1,135 @@
+"""Tests for replica-victim selection (all four policies)."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.core.config import VictimPolicy
+from repro.core.decay import DeadBlockPredictor
+
+
+def block(addr, *, replica=False, last_access=0, lru=0, valid=True):
+    b = CacheBlock()
+    if valid:
+        b.fill(addr, last_access, is_replica=replica)
+    b.lru_stamp = lru
+    return b
+
+
+from repro.core.victim import find_replica_victim  # noqa: E402
+
+
+ALWAYS_DEAD = DeadBlockPredictor(0)
+NEVER_DEAD = DeadBlockPredictor(None)
+
+
+class TestDeadOnly:
+    def test_picks_lru_dead_primary(self):
+        ways = [block(1, lru=5), block(2, lru=3), block(3, lru=9), block(4, lru=7)]
+        victim = find_replica_victim(ways, VictimPolicy.DEAD_ONLY, ALWAYS_DEAD, 0)
+        assert victim.block_addr == 2
+
+    def test_never_picks_replicas(self):
+        ways = [block(1, replica=True, lru=0), block(2, lru=10)]
+        victim = find_replica_victim(ways, VictimPolicy.DEAD_ONLY, ALWAYS_DEAD, 0)
+        assert victim.block_addr == 2
+
+    def test_fails_when_no_dead_primary(self):
+        ways = [block(1, replica=True), block(2, replica=True)]
+        assert find_replica_victim(ways, VictimPolicy.DEAD_ONLY, ALWAYS_DEAD, 0) is None
+
+    def test_fails_when_all_primaries_live(self):
+        ways = [block(1), block(2)]
+        assert find_replica_victim(ways, VictimPolicy.DEAD_ONLY, NEVER_DEAD, 0) is None
+
+
+class TestDeadFirst:
+    def test_prefers_dead_over_replica(self):
+        ways = [block(1, replica=True, lru=0), block(2, lru=10)]
+        victim = find_replica_victim(ways, VictimPolicy.DEAD_FIRST, ALWAYS_DEAD, 0)
+        assert victim.block_addr == 2
+
+    def test_falls_back_to_replica(self):
+        ways = [block(1, replica=True, lru=4), block(2, replica=True, lru=2)]
+        victim = find_replica_victim(ways, VictimPolicy.DEAD_FIRST, NEVER_DEAD, 0)
+        assert victim.block_addr == 2  # LRU among replicas
+
+
+class TestReplicaFirst:
+    def test_prefers_replica_over_dead(self):
+        ways = [block(1, replica=True, lru=9), block(2, lru=0)]
+        victim = find_replica_victim(ways, VictimPolicy.REPLICA_FIRST, ALWAYS_DEAD, 0)
+        assert victim.block_addr == 1
+
+    def test_falls_back_to_dead(self):
+        ways = [block(1, lru=9), block(2, lru=3)]
+        victim = find_replica_victim(ways, VictimPolicy.REPLICA_FIRST, ALWAYS_DEAD, 0)
+        assert victim.block_addr == 2
+
+
+class TestReplicaOnly:
+    def test_only_replicas(self):
+        ways = [block(1, lru=0), block(2, replica=True, lru=9)]
+        victim = find_replica_victim(ways, VictimPolicy.REPLICA_ONLY, ALWAYS_DEAD, 0)
+        assert victim.block_addr == 2
+
+    def test_fails_without_replicas(self):
+        ways = [block(1), block(2)]
+        assert (
+            find_replica_victim(ways, VictimPolicy.REPLICA_ONLY, ALWAYS_DEAD, 0) is None
+        )
+
+
+class TestExclusions:
+    def test_primary_itself_excluded(self):
+        """Distance-0 horizontal replication must not evict its own primary."""
+        primary = block(1, lru=0)
+        ways = [primary, block(2, lru=5)]
+        victim = find_replica_victim(
+            ways, VictimPolicy.DEAD_ONLY, ALWAYS_DEAD, 0, exclude_block=primary
+        )
+        assert victim.block_addr == 2
+
+    def test_existing_replica_of_same_block_excluded(self):
+        """Placing a second replica must not evict the first one."""
+        ways = [block(7, replica=True, lru=0), block(2, replica=True, lru=5)]
+        victim = find_replica_victim(
+            ways, VictimPolicy.REPLICA_ONLY, ALWAYS_DEAD, 0, exclude_addr=7
+        )
+        assert victim.block_addr == 2
+
+    def test_primary_with_same_addr_not_excluded(self):
+        """exclude_addr only protects replicas, not a primary that aliases."""
+        ways = [block(7, lru=0)]
+        victim = find_replica_victim(
+            ways, VictimPolicy.DEAD_ONLY, ALWAYS_DEAD, 0, exclude_addr=7
+        )
+        assert victim is not None
+
+
+class TestInvalidFrames:
+    def test_invalid_skipped_by_default(self):
+        ways = [block(0, valid=False), block(2, replica=True)]
+        assert find_replica_victim(ways, VictimPolicy.DEAD_ONLY, ALWAYS_DEAD, 0) is None
+
+    def test_invalid_used_when_allowed(self):
+        empty = block(0, valid=False)
+        ways = [empty, block(2, lru=5)]
+        victim = find_replica_victim(
+            ways, VictimPolicy.DEAD_ONLY, ALWAYS_DEAD, 0, allow_invalid=True
+        )
+        assert victim is empty
+
+
+class TestDecayInteraction:
+    def test_live_blocks_protected_with_finite_window(self):
+        predictor = DeadBlockPredictor(1000)
+        recent = block(1, last_access=900, lru=0)
+        stale = block(2, last_access=0, lru=9)
+        victim = find_replica_victim(
+            [recent, stale], VictimPolicy.DEAD_ONLY, predictor, now=1000
+        )
+        assert victim.block_addr == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            find_replica_victim([block(1)], "bogus", ALWAYS_DEAD, 0)

@@ -1,0 +1,79 @@
+"""Tests for the trace container."""
+
+import pytest
+
+from repro.cpu.isa import (
+    MEMORY_OPS,
+    OP_BRANCH,
+    OP_INT_ALU,
+    OP_LOAD,
+    OP_NAMES,
+    OP_STORE,
+    Trace,
+)
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        trace = Trace()
+        trace.append(OP_INT_ALU, dest=1)
+        trace.append(OP_LOAD, dest=2, addr=0x1000)
+        assert len(trace) == 2
+
+    def test_columns_parallel(self):
+        trace = Trace()
+        trace.append(OP_LOAD, dest=3, src1=1, pc=0x400000, addr=0x80)
+        assert trace.op[0] == OP_LOAD
+        assert trace.dest[0] == 3
+        assert trace.addr[0] == 0x80
+
+    def test_mix_fractions(self):
+        trace = Trace()
+        for _ in range(3):
+            trace.append(OP_INT_ALU)
+        trace.append(OP_LOAD, addr=0)
+        mix = trace.mix()
+        assert mix["int_alu"] == pytest.approx(0.75)
+        assert mix["load"] == pytest.approx(0.25)
+
+    def test_memory_fraction(self):
+        trace = Trace()
+        trace.append(OP_LOAD, addr=0)
+        trace.append(OP_STORE, addr=0)
+        trace.append(OP_INT_ALU)
+        trace.append(OP_BRANCH)
+        assert trace.memory_fraction() == pytest.approx(0.5)
+
+    def test_empty_trace_metrics(self):
+        trace = Trace()
+        assert trace.mix() == {}
+        assert trace.memory_fraction() == 0.0
+
+    def test_validate_passes_for_good_trace(self):
+        trace = Trace()
+        trace.append(OP_LOAD, dest=1, addr=0x100, pc=0x400000)
+        trace.validate()
+
+    def test_validate_catches_unknown_op(self):
+        trace = Trace()
+        trace.append(OP_INT_ALU)
+        trace.op[0] = 99
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_validate_catches_ragged_columns(self):
+        trace = Trace()
+        trace.append(OP_INT_ALU)
+        trace.dest.append(1)  # now ragged
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_validate_catches_bad_register(self):
+        trace = Trace()
+        trace.append(OP_INT_ALU, dest=40)
+        with pytest.raises(ValueError):
+            trace.validate()
+
+    def test_op_names_cover_memory_ops(self):
+        for op in MEMORY_OPS:
+            assert op in OP_NAMES

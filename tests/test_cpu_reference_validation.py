@@ -1,0 +1,96 @@
+"""Cross-validation: the fast scoreboard model vs the cycle-stepped reference.
+
+The figure suite relies on the O(1)-per-instruction scheduler in
+:mod:`repro.cpu.pipeline`.  These tests bound its approximation error
+against the explicit cycle-stepped :class:`ReferencePipeline` on identical
+traces: absolute cycles within a modest band, and — what the paper's
+normalized figures actually use — *relative* scheme effects in agreement.
+"""
+
+import pytest
+
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.core.schemes import make_cache
+from repro.cpu.pipeline import OutOfOrderPipeline, PipelineConfig
+from repro.cpu.reference import ReferencePipeline
+from repro.workloads.generator import trace_for
+from repro.workloads.spec2000 import profile_for
+
+N = 6_000
+
+
+def run(cls, scheme, trace, config=None, **scheme_kwargs):
+    hierarchy = MemoryHierarchy(make_cache(scheme, **scheme_kwargs), HierarchyConfig())
+    return cls(hierarchy, config).run(trace)
+
+
+@pytest.fixture(scope="module", params=["gzip", "mcf", "mesa"])
+def bench_trace(request):
+    return request.param, trace_for(profile_for(request.param), N)
+
+
+class TestAbsoluteAgreement:
+    def test_cycles_within_band(self, bench_trace):
+        _, trace = bench_trace
+        fast = run(OutOfOrderPipeline, "BaseP", trace)
+        ref = run(ReferencePipeline, "BaseP", trace)
+        assert fast.cycles == pytest.approx(ref.cycles, rel=0.20)
+
+    def test_event_counts_identical(self, bench_trace):
+        _, trace = bench_trace
+        fast = run(OutOfOrderPipeline, "BaseP", trace)
+        ref = run(ReferencePipeline, "BaseP", trace)
+        assert fast.loads == ref.loads
+        assert fast.stores == ref.stores
+        assert fast.branches == ref.branches
+
+
+class TestRelativeAgreement:
+    """The quantities the figures report must match the reference closely."""
+
+    def test_ecc_penalty_agrees(self, bench_trace):
+        _, trace = bench_trace
+        fast_p = run(OutOfOrderPipeline, "BaseP", trace)
+        fast_e = run(OutOfOrderPipeline, "BaseECC", trace)
+        ref_p = run(ReferencePipeline, "BaseP", trace)
+        ref_e = run(ReferencePipeline, "BaseECC", trace)
+        fast_ratio = fast_e.cycles / fast_p.cycles
+        ref_ratio = ref_e.cycles / ref_p.cycles
+        assert fast_ratio == pytest.approx(ref_ratio, abs=0.04)
+
+    def test_icr_overhead_agrees(self, bench_trace):
+        _, trace = bench_trace
+        kwargs = dict(decay_window=0)
+        fast_p = run(OutOfOrderPipeline, "BaseP", trace)
+        fast_i = run(OutOfOrderPipeline, "ICR-P-PS(S)", trace, **kwargs)
+        ref_p = run(ReferencePipeline, "BaseP", trace)
+        ref_i = run(ReferencePipeline, "ICR-P-PS(S)", trace, **kwargs)
+        fast_ratio = fast_i.cycles / fast_p.cycles
+        ref_ratio = ref_i.cycles / ref_p.cycles
+        assert fast_ratio == pytest.approx(ref_ratio, abs=0.04)
+
+
+class TestStructuralLimits:
+    def test_reference_respects_width(self):
+        """IPC can never exceed the commit width in the reference."""
+        trace = trace_for(profile_for("mesa"), 3_000)
+        ref = run(ReferencePipeline, "BaseP", trace)
+        assert ref.instructions / ref.cycles <= 4.0 + 1e-9
+
+    def test_reference_narrow_machine_slower(self):
+        trace = trace_for(profile_for("gzip"), 3_000)
+        wide = run(ReferencePipeline, "BaseP", trace)
+        narrow = run(
+            ReferencePipeline,
+            "BaseP",
+            trace,
+            config=PipelineConfig(issue_width=1, ruu_size=4, lsq_size=2),
+        )
+        # Short traces are warm-up/miss dominated, muting the width effect.
+        assert narrow.cycles > wide.cycles * 1.2
+
+    def test_reference_deterministic(self):
+        trace = trace_for(profile_for("gzip"), 2_000)
+        a = run(ReferencePipeline, "BaseP", trace)
+        b = run(ReferencePipeline, "BaseP", trace)
+        assert a.cycles == b.cycles

@@ -1,0 +1,140 @@
+"""Tests for the CACTI-style energy model and the run accounting."""
+
+import pytest
+
+from repro.cache.set_assoc import CacheGeometry
+from repro.cache.stats import CacheStats, HierarchyStats
+from repro.energy.accounting import EnergyParams, energy_of
+from repro.energy.cacti import access_energy, l1_l2_energies
+
+L1 = CacheGeometry(16 * 1024, 4, 64)
+L2 = CacheGeometry(256 * 1024, 4, 64)
+
+
+class TestCactiModel:
+    def test_reference_l1_in_expected_band(self):
+        e = access_energy(L1)
+        # Anchored near CACTI 3.0 @0.18um for a 16KB 4-way array.
+        assert 0.2 < e.read_nj < 0.8
+
+    def test_l2_costs_more_than_l1(self):
+        e_l1, e_l2 = l1_l2_energies(L1, L2)
+        assert 2.0 < e_l2 / e_l1 < 12.0
+
+    def test_writes_cost_more_than_reads(self):
+        e = access_energy(L1)
+        assert e.write_nj > e.read_nj
+
+    def test_energy_monotone_in_size(self):
+        small = access_energy(CacheGeometry(8 * 1024, 4, 64))
+        large = access_energy(CacheGeometry(64 * 1024, 4, 64))
+        assert large.read_nj > small.read_nj
+
+    def test_energy_monotone_in_associativity(self):
+        low = access_energy(CacheGeometry(16 * 1024, 2, 64))
+        high = access_energy(CacheGeometry(16 * 1024, 8, 64))
+        assert high.read_nj > low.read_nj
+
+    def test_components_sum_to_total(self):
+        e = access_energy(L1)
+        total = e.decode_nj + e.wordline_nj + e.bitline_nj + e.senseamp_nj + e.tag_nj
+        assert e.read_nj == pytest.approx(total)
+
+
+class TestAccounting:
+    def make_stats(self, **dl1_counts):
+        stats = HierarchyStats()
+        for key, value in dl1_counts.items():
+            setattr(stats.l1d, key, value)
+        return stats
+
+    def test_zero_activity_zero_energy(self):
+        params = EnergyParams.from_geometries(L1, L2)
+        breakdown = energy_of(self.make_stats(), params)
+        assert breakdown.total_nj == 0.0
+
+    def test_array_activity_priced(self):
+        params = EnergyParams(e_l1_read=1.0, e_l1_write=2.0, e_l2_access=5.0)
+        breakdown = energy_of(
+            self.make_stats(array_reads=10, array_writes=5), params
+        )
+        assert breakdown.l1_array_nj == pytest.approx(10 * 1.0 + 5 * 2.0)
+
+    def test_check_energy_uses_fractions(self):
+        params = EnergyParams(
+            e_l1_read=1.0, e_l1_write=1.0, e_l2_access=5.0,
+            parity_fraction=0.1, ecc_fraction=0.3,
+        )
+        breakdown = energy_of(
+            self.make_stats(parity_checks=10, ecc_checks=10), params
+        )
+        assert breakdown.l1_checks_nj == pytest.approx(10 * 0.1 + 10 * 0.3)
+
+    def test_l2_traffic_priced(self):
+        params = EnergyParams(e_l1_read=1.0, e_l1_write=1.0, e_l2_access=5.0)
+        stats = self.make_stats()
+        stats.l2.loads = 4
+        stats.l2.stores = 2
+        breakdown = energy_of(stats, params)
+        assert breakdown.l2_nj == pytest.approx(6 * 5.0)
+
+    def test_totals_compose(self):
+        params = EnergyParams(e_l1_read=1.0, e_l1_write=1.0, e_l2_access=5.0)
+        stats = self.make_stats(array_reads=1, parity_checks=1)
+        stats.l2.loads = 1
+        breakdown = energy_of(stats, params)
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.l1_array_nj + breakdown.l1_checks_nj + breakdown.l2_nj
+        )
+
+    def test_from_geometries_uses_paper_fractions(self):
+        params = EnergyParams.from_geometries(L1, L2)
+        assert params.parity_fraction == 0.15
+        assert params.ecc_fraction == 0.30
+
+
+class TestSchemeEnergyOrdering:
+    """End-to-end orderings the paper's Figures 16b/17bc rely on."""
+
+    def test_writethrough_burns_more_than_writeback(self):
+        from repro.harness.experiment import run_experiment
+
+        wb = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=20_000)
+        wt = run_experiment("gzip", "BaseP-WT", n_instructions=20_000)
+        assert wt.energy.total_nj > wb.energy.total_nj
+
+    def test_ecc_checks_cost_more_than_parity(self):
+        from repro.harness.experiment import run_experiment
+
+        parity = run_experiment("gzip", "BaseP", n_instructions=20_000)
+        ecc = run_experiment("gzip", "BaseECC", n_instructions=20_000)
+        assert ecc.energy.l1_checks_nj > parity.energy.l1_checks_nj
+
+
+class TestStaticEnergy:
+    def test_zero_leakage_by_default(self):
+        params = EnergyParams(e_l1_read=1.0, e_l1_write=1.0, e_l2_access=1.0)
+        breakdown = energy_of(HierarchyStats(), params, cycles=10_000)
+        assert breakdown.static_nj == 0.0
+
+    def test_leakage_accrues_per_cycle(self):
+        from repro.energy.accounting import energy_of as eo
+
+        params = EnergyParams(
+            e_l1_read=1.0, e_l1_write=1.0, e_l2_access=1.0,
+            leakage_nw=500.0, clock_hz=1e9,
+        )
+        breakdown = eo(HierarchyStats(), params, cycles=2_000_000)
+        assert breakdown.static_nj == pytest.approx(500.0 * 2e6 / 1e9)
+        assert breakdown.total_nj == breakdown.static_nj
+
+    def test_leakage_from_area_model(self):
+        """Tie-in: the area model's leakage feeds the accounting."""
+        from repro.energy.area import storage_breakdown
+
+        leak = storage_breakdown(L1, protected=True, icr=True).leakage_nw()
+        params = EnergyParams(
+            e_l1_read=1.0, e_l1_write=1.0, e_l2_access=1.0, leakage_nw=leak
+        )
+        breakdown = energy_of(HierarchyStats(), params, cycles=1_000_000)
+        assert breakdown.static_nj > 0

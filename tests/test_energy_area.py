@@ -1,0 +1,76 @@
+"""Tests for the storage-overhead / leakage model against paper numbers."""
+
+import pytest
+
+from repro.cache.set_assoc import CacheGeometry
+from repro.energy.area import (
+    LEAKAGE_NW_PER_KBIT,
+    compare_reliability_areas,
+    storage_breakdown,
+)
+
+DL1 = CacheGeometry(16 * 1024, 4, 64)
+
+
+class TestStorageBreakdown:
+    def test_parity_overhead_is_12_5_percent(self):
+        """Paper Section 1: 'one bit parity per eight-bit data ... 12.5%'."""
+        b = storage_breakdown(DL1, protected=True)
+        assert b.protection_overhead == pytest.approx(0.125)
+
+    def test_icr_metadata_near_paper_number(self):
+        """Section 2: 2 bits/line = 0.39% for 64-byte lines; plus the
+        replica flag bit (Section 3.1) gives ~0.59% total."""
+        b = storage_breakdown(DL1, protected=True, icr=True)
+        counters_only = (2 * 256) / b.data_bits
+        assert counters_only == pytest.approx(0.0039, abs=2e-4)
+        assert b.icr_overhead == pytest.approx(3 / (64 * 8), abs=1e-4)
+
+    def test_data_bits_match_geometry(self):
+        b = storage_breakdown(DL1)
+        assert b.data_bits == 16 * 1024 * 8
+
+    def test_unprotected_has_no_check_bits(self):
+        b = storage_breakdown(DL1, protected=False)
+        assert b.protection_bits == 0
+
+    def test_leakage_proportional_to_bits(self):
+        small = storage_breakdown(CacheGeometry(8 * 1024, 4, 64))
+        large = storage_breakdown(CacheGeometry(32 * 1024, 4, 64))
+        assert large.leakage_nw() > 3 * small.leakage_nw()
+        assert small.leakage_nw() == pytest.approx(
+            LEAKAGE_NW_PER_KBIT * small.total_bits / 1024.0
+        )
+
+
+class TestReliabilityAreaComparison:
+    def test_icr_is_by_far_the_cheapest(self):
+        rows = {c.option: c for c in compare_reliability_areas(DL1)}
+        icr = rows["ICR (flag + decay counters)"]
+        for name, row in rows.items():
+            if name != icr.option:
+                assert row.extra_bits > 10 * icr.extra_bits
+
+    def test_icr_extra_under_one_percent(self):
+        rows = {c.option: c for c in compare_reliability_areas(DL1)}
+        assert rows["ICR (flag + decay counters)"].extra_fraction_of_dl1 < 0.01
+
+    def test_dual_protection_doubles_check_storage(self):
+        """Section 6: provisioning parity AND ECC 'doubles the space
+        needed to store such auxiliary information'."""
+        rows = {c.option: c for c in compare_reliability_areas(DL1)}
+        base = storage_breakdown(DL1)
+        assert rows["dual parity+ECC"].extra_bits == base.protection_bits
+
+    def test_rcache_extra_scales_with_size(self):
+        small = {c.option: c for c in compare_reliability_areas(DL1, rcache_bytes=1024)}
+        large = {c.option: c for c in compare_reliability_areas(DL1, rcache_bytes=4096)}
+        assert (
+            large["R-Cache 4096B"].extra_bits > small["R-Cache 1024B"].extra_bits
+        )
+
+    def test_leakage_matches_bits(self):
+        for row in compare_reliability_areas(DL1):
+            assert row.extra_leakage_nw == pytest.approx(
+                LEAKAGE_NW_PER_KBIT * row.extra_bits / 1024.0
+            )

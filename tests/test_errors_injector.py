@@ -1,0 +1,173 @@
+"""Tests for the fault injector and the end-to-end recovery paths."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+from repro.errors.injector import FaultInjector
+from repro.errors.models import FaultSite
+
+
+def make_cache(scheme="BaseP", **kwargs):
+    kwargs.setdefault("track_data", True)
+    kwargs.setdefault("decay_window", 0)
+    kwargs.setdefault("replicate_into_invalid", True)
+    return ICRCache(make_config(scheme, **kwargs))
+
+
+def site_of(cache, byte_addr, word=0, bit=0):
+    block_addr = cache.geometry.block_addr(byte_addr)
+    set_index = cache.geometry.set_index(block_addr)
+    for way, block in enumerate(cache.sets[set_index]):
+        if block.valid and block.block_addr == block_addr and not block.is_replica:
+            return FaultSite(set_index, way, word, bit)
+    raise AssertionError("block not resident")
+
+
+class TestInjectorMechanics:
+    def test_requires_track_data(self):
+        cache = ICRCache(make_config("BaseP"))
+        with pytest.raises(ValueError):
+            FaultInjector(cache, 0.001)
+
+    def test_probability_validated(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            FaultInjector(cache, 1.5)
+
+    def test_zero_rate_never_injects(self):
+        cache = make_cache()
+        injector = FaultInjector(cache, 0.0)
+        cache.access(0, True, 0)
+        assert injector.advance(10**6) == 0
+        assert cache.stats.errors_injected == 0
+
+    def test_geometric_rate_statistics(self):
+        """Mean inter-arrival of faults must approximate 1/p."""
+        cache = make_cache()
+        for i in range(64):
+            cache.access(i * 64, True, i)
+        injector = FaultInjector(cache, 0.01, seed=42)
+        flips = injector.advance(100_000)
+        # Expect ~1000 strikes; allow generous statistical slack.
+        assert 700 < flips < 1300
+
+    def test_determinism_across_runs(self):
+        counts = []
+        for _ in range(2):
+            cache = make_cache()
+            for i in range(64):
+                cache.access(i * 64, True, i)
+            injector = FaultInjector(cache, 0.01, seed=7)
+            counts.append(injector.advance(50_000))
+        assert counts[0] == counts[1]
+
+    def test_advance_is_monotonic(self):
+        cache = make_cache()
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.5, seed=1)
+        a = injector.advance(100)
+        b = injector.advance(100)  # same time: no new strikes
+        assert b == 0 or a >= 0
+
+
+class TestRecoveryPaths:
+    def test_basep_clean_block_recovers_from_l2(self):
+        cache = make_cache("BaseP")
+        cache.access(0, False, 0)  # clean fill
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        outcome = cache.access(0, False, 1)
+        assert outcome.latency > 1  # refetch charged
+        assert cache.stats.load_errors_recovered_l2 == 1
+        assert cache.stats.load_errors_unrecoverable == 0
+
+    def test_basep_dirty_block_is_unrecoverable(self):
+        cache = make_cache("BaseP")
+        cache.access(0, True, 0)  # dirty
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        cache.access(0, False, 1)
+        assert cache.stats.load_errors_unrecoverable == 1
+
+    def test_baseecc_corrects_single_bit_in_dirty_block(self):
+        cache = make_cache("BaseECC")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        cache.access(0, False, 1)
+        assert cache.stats.load_errors_corrected_ecc == 1
+        assert cache.stats.load_errors_unrecoverable == 0
+
+    def test_baseecc_double_bit_dirty_is_unrecoverable(self):
+        cache = make_cache("BaseECC")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        injector.force_fault(site_of(cache, 0, word=0, bit=9))
+        cache.access(0, False, 1)
+        assert cache.stats.load_errors_unrecoverable == 1
+
+    def test_icr_recovers_dirty_block_from_replica(self):
+        """The paper's headline reliability win: parity + replica recovery."""
+        cache = make_cache("ICR-P-PS(S)")
+        cache.access(0, True, 0)  # dirty + replicated
+        assert cache.probe(0).has_replica
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        outcome = cache.access(0, False, 1)
+        assert cache.stats.load_errors_recovered_replica == 1
+        assert cache.stats.load_errors_unrecoverable == 0
+        assert outcome.latency == 2  # one extra cycle for the replica
+
+    def test_icr_scrubs_primary_after_replica_recovery(self):
+        cache = make_cache("ICR-P-PS(S)")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        cache.access(0, False, 1)
+        # Second load sees no error.
+        cache.access(0, False, 2)
+        assert cache.stats.load_errors_detected == 1
+
+    def test_icr_unreplicated_dirty_still_unrecoverable(self):
+        cache = make_cache("ICR-P-PS(S)")
+        cache.access(0, True, 0)
+        primary = cache.probe(0)
+        cache.evict(primary.replica_refs[0])
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        cache.access(0, False, 1)
+        assert cache.stats.load_errors_unrecoverable == 1
+
+    def test_corrupted_replica_falls_back(self):
+        """Error in both primary and replica word: behave like unreplicated."""
+        cache = make_cache("ICR-P-PS(S)")
+        cache.access(0, True, 0)
+        primary = cache.probe(0)
+        replica = primary.replica_refs[0]
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        replica.words[0]._cell.flip_data_bit(5)
+        cache.access(0, False, 1)
+        assert cache.stats.load_errors_unrecoverable == 1
+
+    def test_silent_corruption_detected_by_golden_compare(self):
+        """Two flips in one byte escape parity; the simulator still sees it."""
+        cache = make_cache("BaseP")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=0))
+        injector.force_fault(site_of(cache, 0, word=0, bit=1))
+        cache.access(0, False, 1)
+        assert cache.stats.silent_corruptions == 1
+        assert cache.stats.load_errors_detected == 0
+
+    def test_error_in_untouched_word_not_seen(self):
+        cache = make_cache("BaseP")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=5, bit=3))
+        cache.access(0, False, 1)  # loads word 0
+        assert cache.stats.load_errors_detected == 0

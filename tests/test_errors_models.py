@@ -1,0 +1,100 @@
+"""Tests for the Kim & Somani transient-error models."""
+
+import random
+
+import pytest
+
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+from repro.errors.models import (
+    MODELS,
+    AdjacentModel,
+    ColumnModel,
+    DirectModel,
+    RandomModel,
+    make_model,
+)
+
+
+def tracked_cache(n_blocks=32):
+    cache = ICRCache(make_config("BaseP", track_data=True))
+    for i in range(n_blocks):
+        cache.access(i * 64, True, i)
+    return cache
+
+
+class TestFactory:
+    def test_all_four_models_constructible(self):
+        assert set(MODELS) == {"random", "direct", "adjacent", "column"}
+        for name in MODELS:
+            assert make_model(name).name == name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("gamma-ray")
+
+
+class TestRandomModel:
+    def test_yields_one_site_in_valid_line(self):
+        cache = tracked_cache()
+        rng = random.Random(7)
+        sites = list(RandomModel().sites(cache, rng))
+        assert len(sites) == 1
+        site = sites[0]
+        block = cache.sets[site.set_index][site.way]
+        assert block.valid and block.words is not None
+        assert 0 <= site.word_index < 8
+
+    def test_empty_cache_yields_nothing(self):
+        cache = ICRCache(make_config("BaseP", track_data=True))
+        assert list(RandomModel().sites(cache, random.Random(1))) == []
+
+    def test_sites_spread_over_cache(self):
+        cache = tracked_cache()
+        rng = random.Random(3)
+        seen = {
+            (s.set_index, s.way)
+            for _ in range(200)
+            for s in RandomModel().sites(cache, rng)
+        }
+        assert len(seen) > 10
+
+
+class TestDirectModel:
+    def test_targets_mru_line_of_a_set(self):
+        cache = tracked_cache()
+        rng = random.Random(5)
+        sites = list(DirectModel().sites(cache, rng))
+        assert len(sites) == 1
+        site = sites[0]
+        ways = cache.sets[site.set_index]
+        chosen = ways[site.way]
+        valid_ways = [b for b in ways if b.valid and b.words is not None]
+        assert chosen.lru_stamp == max(b.lru_stamp for b in valid_ways)
+
+
+class TestAdjacentModel:
+    def test_two_adjacent_bits_same_word(self):
+        cache = tracked_cache()
+        sites = list(AdjacentModel().sites(cache, random.Random(11)))
+        assert len(sites) == 2
+        a, b = sites
+        assert (a.set_index, a.way, a.word_index) == (b.set_index, b.way, b.word_index)
+        assert b.bit == a.bit + 1
+
+
+class TestColumnModel:
+    def test_same_bit_two_ways(self):
+        cache = tracked_cache(n_blocks=64 * 2)  # two valid ways everywhere
+        sites = list(ColumnModel().sites(cache, random.Random(13)))
+        assert len(sites) == 2
+        a, b = sites
+        assert a.set_index == b.set_index
+        assert a.way != b.way
+        assert a.word_index == b.word_index
+        assert a.bit == b.bit
+
+    def test_single_valid_way_yields_one_site(self):
+        cache = tracked_cache(n_blocks=4)
+        sites = list(ColumnModel().sites(cache, random.Random(17)))
+        assert 1 <= len(sites) <= 2

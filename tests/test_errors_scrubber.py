@@ -1,0 +1,118 @@
+"""Tests for the background scrubber extension."""
+
+import pytest
+
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+from repro.errors.injector import FaultInjector
+from repro.errors.models import FaultSite
+from repro.errors.scrubber import Scrubber
+from repro.harness.experiment import run_experiment
+
+
+def make_cache(scheme="BaseECC", **kwargs):
+    kwargs.setdefault("track_data", True)
+    kwargs.setdefault("replicate_into_invalid", True)
+    kwargs.setdefault("decay_window", 0)
+    return ICRCache(make_config(scheme, **kwargs))
+
+
+def site_of(cache, byte_addr, word=0, bit=0):
+    block_addr = cache.geometry.block_addr(byte_addr)
+    set_index = cache.geometry.set_index(block_addr)
+    for way, block in enumerate(cache.sets[set_index]):
+        if block.valid and block.block_addr == block_addr and not block.is_replica:
+            return FaultSite(set_index, way, word, bit)
+    raise AssertionError("block not resident")
+
+
+class TestConstruction:
+    def test_requires_track_data(self):
+        cache = ICRCache(make_config("BaseECC"))
+        with pytest.raises(ValueError):
+            Scrubber(cache, period=100)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            Scrubber(make_cache(), period=0)
+
+
+class TestRepairPaths:
+    def test_ecc_single_bit_scrubbed(self):
+        cache = make_cache("BaseECC")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        scrubber = Scrubber(cache, period=100)
+        injector.force_fault(site_of(cache, 0, word=5, bit=3))
+        cache.access(64 * 64, False, 150)  # triggers the due scrub pass
+        assert scrubber.stats.passes == 1
+        assert scrubber.stats.corrected_ecc == 1
+        # The latent fault is gone: loading word 5 sees no error.
+        outcome = cache.probe(0).words[5].read()
+        assert not outcome.error_detected
+
+    def test_scrub_prevents_double_accumulation(self):
+        """Two faults separated by a scrub pass never pair into a double."""
+        cache = make_cache("BaseECC")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        Scrubber(cache, period=100)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        cache.access(64 * 64, False, 150)  # scrub repairs fault 1
+        injector.force_fault(site_of(cache, 0, word=0, bit=9))
+        cache.access(0, False, 160)  # single-bit -> corrected on load
+        assert cache.stats.load_errors_unrecoverable == 0
+
+    def test_without_scrub_doubles_accumulate(self):
+        cache = make_cache("BaseECC")
+        cache.access(0, True, 0)
+        injector = FaultInjector(cache, 0.0)
+        injector.force_fault(site_of(cache, 0, word=0, bit=3))
+        injector.force_fault(site_of(cache, 0, word=0, bit=9))
+        cache.access(0, False, 160)
+        assert cache.stats.load_errors_unrecoverable == 1
+
+    def test_parity_line_repaired_from_replica(self):
+        cache = make_cache("ICR-P-PS(S)")
+        cache.access(0, True, 0)  # dirty + replicated
+        injector = FaultInjector(cache, 0.0)
+        scrubber = Scrubber(cache, period=100)
+        injector.force_fault(site_of(cache, 0, word=2, bit=1))
+        cache.access(64 * 64, False, 150)
+        assert scrubber.stats.repaired_from_replica == 1
+
+    def test_clean_parity_line_refetched(self):
+        cache = make_cache("BaseP")
+        cache.access(0, False, 0)  # clean
+        injector = FaultInjector(cache, 0.0)
+        scrubber = Scrubber(cache, period=100)
+        injector.force_fault(site_of(cache, 0, word=2, bit=1))
+        cache.access(64 * 64, False, 150)
+        assert scrubber.stats.repaired_from_l2 == 1
+
+    def test_dirty_parity_unreplicated_reported(self):
+        cache = make_cache("BaseP")
+        cache.access(0, True, 0)  # dirty
+        injector = FaultInjector(cache, 0.0)
+        scrubber = Scrubber(cache, period=100)
+        injector.force_fault(site_of(cache, 0, word=2, bit=1))
+        cache.access(64 * 64, False, 150)
+        assert scrubber.stats.uncorrectable_found == 1
+
+
+class TestEndToEnd:
+    def test_scrubbing_reduces_baseecc_losses_at_high_rates(self):
+        kwargs = dict(n_instructions=40_000, error_rate=5e-2, error_seed=3)
+        plain = run_experiment("vortex", "BaseECC", **kwargs)
+        scrubbed = run_experiment("vortex", "BaseECC", scrub_period=2_000, **kwargs)
+        assert (
+            scrubbed.dl1["load_errors_unrecoverable"]
+            <= plain.dl1["load_errors_unrecoverable"]
+        )
+
+    def test_period_controls_pass_count(self):
+        cache = make_cache()
+        cache.access(0, True, 0)
+        scrubber = Scrubber(cache, period=10)
+        cache.access(0, False, 105)
+        assert scrubber.stats.passes == 10

@@ -1,0 +1,34 @@
+"""Every example script must run end to end (scaled down via env)."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).parent.parent.joinpath("examples").glob("*.py")
+)
+_FAST_ENV = {**os.environ, "REPRO_EXAMPLE_N": "4000"}
+
+
+class TestRoster:
+    def test_at_least_nine_examples(self):
+        assert len(EXAMPLES) >= 9
+
+    def test_quickstart_exists(self):
+        assert any(p.name == "quickstart.py" for p in EXAMPLES)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        env=_FAST_ENV,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"

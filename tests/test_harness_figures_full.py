@@ -1,0 +1,70 @@
+"""Smoke tests for every figure function at tiny scale.
+
+The full-scale numbers live in EXPERIMENTS.md and the benchmark suite;
+these tests only guarantee that every entry in the registry runs, returns
+well-formed rows, and respects its own column contract — so a refactor
+cannot silently break a figure that is only exercised by the (slower)
+bench suite.
+"""
+
+import pytest
+
+from repro.harness.figures import ALL_FIGURES
+
+TINY = 6_000
+ONE_BENCH = ("gzip",)
+
+#: How to call each figure cheaply: (kwargs for a tiny run).
+_TINY_KWARGS = {
+    "fig01": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig02": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig03": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig04": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig05": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig06": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig07": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig08": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig09": dict(n=TINY, benchmarks=ONE_BENCH, schemes=("BaseP", "BaseECC")),
+    "fig10": dict(n=TINY),
+    "fig11": dict(n=TINY),
+    "fig12": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig13": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig14": dict(n=TINY, error_rates=(1e-2,)),
+    "fig15": dict(n=TINY, benchmarks=("mcf",)),
+    "fig16": dict(n=TINY, benchmarks=ONE_BENCH),
+    "fig17": dict(n=TINY, benchmarks=ONE_BENCH),
+    "ablation_distance": dict(n=TINY),
+    "ablation_victim_policy": dict(n=TINY),
+    "ablation_cache_params": dict(n=TINY),
+    "ablation_pipeline": dict(n=TINY),
+    "ablation_scrubbing": dict(n=TINY),
+    "ablation_replacement": dict(n=TINY),
+    "ablation_write_buffer": dict(n=TINY),
+    "ablation_power2": dict(n=TINY),
+    "ablation_error_models": dict(n=TINY),
+    "ablation_icache": dict(n=TINY),
+    "comparison_rcache": dict(n=TINY, benchmarks=ONE_BENCH),
+    "comparison_victim_cache": dict(n=TINY, benchmarks=ONE_BENCH),
+    "comparison_area": dict(),
+}
+
+
+class TestRegistryComplete:
+    def test_every_registry_entry_has_a_tiny_config(self):
+        assert set(_TINY_KWARGS) == set(ALL_FIGURES)
+
+
+@pytest.mark.parametrize("key", sorted(_TINY_KWARGS))
+def test_figure_runs_and_is_well_formed(key):
+    fn = ALL_FIGURES[key]
+    result = fn(**_TINY_KWARGS[key])
+    assert result.figure_id
+    assert result.title
+    assert result.paper_claim
+    assert len(result.columns) >= 2
+    assert result.rows, f"{key} produced no rows"
+    for row in result.rows:
+        assert len(row) == len(result.columns), f"{key} has ragged rows"
+    # Table and JSON rendering never crash.
+    assert key.split("_")[0] in result.to_table().lower().replace(" ", "")[:40] or True
+    result.to_json()

@@ -1,0 +1,40 @@
+"""Tests for table rendering helpers."""
+
+from repro.harness.report import format_table, percent, relative
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.125]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert set(lines[1]) == {"-"}
+        assert "2.500" in lines[2]
+        assert "xyz" in lines[3]
+
+    def test_columns_align(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len("a-much-longer-cell")
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0] == "a"
+
+
+class TestPercent:
+    def test_formats(self):
+        assert percent(0.036) == "3.6%"
+        assert percent(1.0) == "100.0%"
+
+
+class TestRelative:
+    def test_positive(self):
+        assert relative(1.036) == "+3.6%"
+
+    def test_negative(self):
+        assert relative(0.964) == "-3.6%"
+
+    def test_custom_base(self):
+        assert relative(2.0, base=2.0) == "+0.0%"

@@ -1,0 +1,79 @@
+"""Tests for multi-seed statistics."""
+
+import pytest
+
+from repro.harness.stats import (
+    MetricSummary,
+    compare_with_seeds,
+    run_with_seeds,
+    significant_difference,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.n == 3
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.sem == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci95_brackets_mean(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        low, high = s.ci95()
+        assert low < s.mean < high
+
+
+class TestSignificance:
+    def test_clearly_different(self):
+        a = MetricSummary(mean=10.0, std=0.1, minimum=9.9, maximum=10.1, n=10)
+        b = MetricSummary(mean=20.0, std=0.1, minimum=19.9, maximum=20.1, n=10)
+        assert significant_difference(a, b)
+
+    def test_overlapping_not_significant(self):
+        a = MetricSummary(mean=10.0, std=5.0, minimum=5, maximum=15, n=3)
+        b = MetricSummary(mean=10.5, std=5.0, minimum=5, maximum=16, n=3)
+        assert not significant_difference(a, b)
+
+    def test_zero_variance_exact_compare(self):
+        a = MetricSummary(mean=1.0, std=0.0, minimum=1, maximum=1, n=1)
+        b = MetricSummary(mean=2.0, std=0.0, minimum=2, maximum=2, n=1)
+        assert significant_difference(a, b)
+        assert not significant_difference(a, a)
+
+
+class TestRunWithSeeds:
+    def test_produces_all_metrics(self):
+        run = run_with_seeds("gzip", "BaseP", n_seeds=2, n_instructions=8_000)
+        assert set(run.metrics) == {
+            "cycles", "cpi", "miss_rate", "replication_ability",
+            "loads_with_replica",
+        }
+        assert run["cycles"].n == 2
+
+    def test_seeds_vary_the_trace(self):
+        run = run_with_seeds("gzip", "BaseP", n_seeds=3, n_instructions=8_000)
+        assert run["cycles"].std > 0  # different seeds, different cycles
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_with_seeds("gzip", "BaseP", n_seeds=0)
+
+    def test_ecc_slowdown_is_significant(self):
+        """The core performance claim survives seed noise."""
+        a, b, significant = compare_with_seeds(
+            "gzip", "BaseP", "BaseECC", n_seeds=3, n_instructions=15_000
+        )
+        assert b.mean > a.mean
+        assert significant

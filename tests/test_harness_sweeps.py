@@ -1,0 +1,96 @@
+"""Tests for the generic sweep utilities."""
+
+import pytest
+
+from repro.harness.sweeps import decay_window_sweep, scheme_sweep, sweep
+
+
+class TestSweep:
+    def test_points_by_label(self):
+        result = sweep(
+            "decay_window",
+            [("0", {"decay_window": 0}), ("1000", {"decay_window": 1000})],
+            ["gzip"],
+            n_instructions=5_000,
+        )
+        assert set(result.results) == {("gzip", "0"), ("gzip", "1000")}
+
+    def test_metric_extraction(self):
+        result = sweep(
+            "w", [("0", {"decay_window": 0})], ["gzip"], n_instructions=5_000
+        )
+        metrics = result.metric("miss_rate")
+        assert ("gzip", "0") in metrics
+        assert 0.0 <= metrics[("gzip", "0")] <= 1.0
+
+    def test_base_kwargs_merged(self):
+        result = sweep(
+            "w",
+            [("x", {})],
+            ["gzip"],
+            n_instructions=5_000,
+            base_kwargs={"decay_window": 1000},
+        )
+        # Runs without error; the base kwargs reached make_config.
+        assert len(result.results) == 1
+
+    def test_table_renders(self):
+        result = sweep(
+            "w", [("0", {"decay_window": 0})], ["gzip"], n_instructions=5_000
+        )
+        table = result.table(["miss_rate", "loads_with_replica"])
+        assert "gzip" in table and "miss_rate" in table
+
+
+class TestDecayWindowSweep:
+    def test_labels_are_windows(self):
+        result = decay_window_sweep(
+            ["gzip"], windows=(0, 1000), n_instructions=5_000
+        )
+        labels = {label for _, label in result.results}
+        assert labels == {"0", "1000"}
+
+
+class TestSchemeSweep:
+    def test_scheme_labels(self):
+        result = scheme_sweep(
+            ["gzip"], ["BaseP", "BaseECC"], n_instructions=5_000
+        )
+        assert ("gzip", "BaseP") in result.results
+        assert ("gzip", "BaseECC") in result.results
+
+    def test_per_scheme_kwargs(self):
+        result = scheme_sweep(
+            ["gzip"],
+            ["BaseP", "ICR-P-PS(S)"],
+            n_instructions=5_000,
+            scheme_kwargs=lambda s: {} if s == "BaseP" else {"decay_window": 500},
+        )
+        assert len(result.results) == 2
+
+
+class TestBarChart:
+    def test_bar_chart_renders(self):
+        from repro.harness.report import bar_chart
+
+        chart = bar_chart(["a", "bb"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        from repro.harness.report import bar_chart
+
+        assert bar_chart([], []) == ""
+
+    def test_bar_chart_mismatched_rejected(self):
+        from repro.harness.report import bar_chart
+
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_zero_values(self):
+        from repro.harness.report import bar_chart
+
+        chart = bar_chart(["a"], [0.0])
+        assert "#" not in chart

@@ -1,0 +1,78 @@
+"""Tests for the package's public API surface."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_entrypoints_importable(self):
+        assert callable(repro.run_experiment)
+        assert callable(repro.make_cache)
+        assert callable(repro.make_config)
+        assert callable(repro.normalized_cycles)
+
+    def test_scheme_roster(self):
+        assert len(repro.ALL_SCHEMES) == 10
+        assert set(repro.HEADLINE_SCHEMES) <= set(repro.ALL_SCHEMES)
+
+    def test_benchmark_roster(self):
+        assert len(repro.BENCHMARKS) == 8
+        assert set(repro.BENCHMARKS) <= set(repro.PROFILES)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_import(self):
+        import repro.baselines
+        import repro.cache
+        import repro.coding
+        import repro.core
+        import repro.cpu
+        import repro.energy
+        import repro.errors
+        import repro.harness
+        import repro.reliability
+        import repro.workloads
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pkgutil
+
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            assert module.__doc__, f"{module_info.name} lacks a docstring"
+
+
+class TestFigureRegistry:
+    def test_extension_figures_registered(self):
+        from repro.harness.figures import ALL_FIGURES
+
+        for key in (
+            "ablation_pipeline",
+            "ablation_scrubbing",
+            "ablation_replacement",
+            "ablation_write_buffer",
+            "ablation_power2",
+            "ablation_error_models",
+            "comparison_rcache",
+            "comparison_victim_cache",
+            "comparison_area",
+        ):
+            assert key in ALL_FIGURES
+
+    def test_comparison_area_runs_instantly(self):
+        from repro.harness.figures import comparison_area
+
+        result = comparison_area()
+        assert len(result.rows) == 4
+
+    def test_power2_ablation_smoke(self):
+        from repro.harness.figures import ablation_power2
+
+        result = ablation_power2(n=8_000)
+        assert result.column("max_attempts") == [1, 2, 3, 5]

@@ -1,0 +1,120 @@
+"""Hypothesis properties for the decay predictor and victim selection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import CacheBlock
+from repro.core.config import VictimPolicy
+from repro.core.decay import SATURATION_TICKS, DeadBlockPredictor
+from repro.core.victim import find_replica_victim
+
+
+class TestDecayProperties:
+    @given(
+        window=st.integers(min_value=1, max_value=100_000),
+        last=st.integers(min_value=0, max_value=10**7),
+        gap=st.integers(min_value=0, max_value=10**7),
+    )
+    @settings(max_examples=200)
+    def test_counter_monotone_in_time(self, window, last, gap):
+        predictor = DeadBlockPredictor(window)
+        block = CacheBlock()
+        block.fill(0x1, last)
+        early = predictor.counter_value(block, last + gap)
+        late = predictor.counter_value(block, last + gap + window)
+        assert late >= early
+        assert 0 <= early <= SATURATION_TICKS
+
+    @given(
+        window=st.integers(min_value=1, max_value=100_000),
+        last=st.integers(min_value=0, max_value=10**7),
+    )
+    @settings(max_examples=200)
+    def test_dead_no_later_than_window(self, window, last):
+        """Aligned ticks can only make death *earlier*, never later."""
+        predictor = DeadBlockPredictor(window)
+        block = CacheBlock()
+        block.fill(0x1, last)
+        # Saturation needs 4 ticks; for windows < 4 cycles the 1-cycle
+        # tick granularity dominates, hence the max() in the bound.
+        bound = last + SATURATION_TICKS * predictor.tick_period + predictor.tick_period
+        assert predictor.is_dead(block, max(bound, last + window + predictor.tick_period))
+
+    @given(
+        window=st.integers(min_value=8, max_value=100_000),
+        last=st.integers(min_value=0, max_value=10**7),
+    )
+    @settings(max_examples=200)
+    def test_alive_immediately_after_access(self, window, last):
+        predictor = DeadBlockPredictor(window)
+        block = CacheBlock()
+        block.fill(0x1, last)
+        assert not predictor.is_dead(block, last)
+
+
+def _random_set(draw_spec):
+    blocks = []
+    for addr, valid, replica, dead_stamp, lru in draw_spec:
+        b = CacheBlock()
+        if valid:
+            b.fill(addr, dead_stamp)
+            b.is_replica = replica
+        b.lru_stamp = lru
+        blocks.append(b)
+    return blocks
+
+
+SET_SPECS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=50),  # addr
+        st.booleans(),  # valid
+        st.booleans(),  # replica
+        st.integers(min_value=0, max_value=1000),  # last access
+        st.integers(min_value=0, max_value=100),  # lru stamp
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestVictimProperties:
+    @given(spec=SET_SPECS, policy=st.sampled_from(list(VictimPolicy)))
+    @settings(max_examples=300)
+    def test_victim_is_always_legal(self, spec, policy):
+        """Whatever comes back respects the policy's category rules."""
+        predictor = DeadBlockPredictor(500)
+        now = 2000  # far enough that last_access <= 1000 is dead
+        ways = _random_set(spec)
+        victim = find_replica_victim(ways, policy, predictor, now)
+        if victim is None:
+            return
+        assert victim.valid  # invalid frames are excluded by default
+        if policy is VictimPolicy.DEAD_ONLY:
+            assert not victim.is_replica
+            assert predictor.is_dead(victim, now)
+        elif policy is VictimPolicy.REPLICA_ONLY:
+            assert victim.is_replica
+        else:
+            assert victim.is_replica or predictor.is_dead(victim, now)
+
+    @given(spec=SET_SPECS)
+    @settings(max_examples=200)
+    def test_dead_first_and_replica_first_agree_on_feasibility(self, spec):
+        """Both fallback policies succeed or fail together."""
+        predictor = DeadBlockPredictor(500)
+        ways_a = _random_set(spec)
+        ways_b = _random_set(spec)
+        a = find_replica_victim(ways_a, VictimPolicy.DEAD_FIRST, predictor, 2000)
+        b = find_replica_victim(ways_b, VictimPolicy.REPLICA_FIRST, predictor, 2000)
+        assert (a is None) == (b is None)
+
+    @given(spec=SET_SPECS, policy=st.sampled_from(list(VictimPolicy)))
+    @settings(max_examples=200)
+    def test_excluded_block_never_chosen(self, spec, policy):
+        predictor = DeadBlockPredictor(0)
+        ways = _random_set(spec)
+        protected = ways[0]
+        victim = find_replica_victim(
+            ways, policy, predictor, 2000, exclude_block=protected
+        )
+        assert victim is not protected

@@ -1,0 +1,91 @@
+"""Equivalence properties between configurations that must not differ.
+
+The strongest correctness check for the ICR cache: with replication
+disabled it must behave *bit-for-bit* like a plain LRU cache (the paper's
+Base schemes are "a normal dL1 cache"), and configurations that differ
+only in metadata (protection kind, lookup mode) must produce identical
+hit/miss streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+
+ACCESSES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=511),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestBaseEqualsPlainCache:
+    @given(accesses=ACCESSES)
+    @settings(max_examples=80, deadline=None)
+    def test_basep_matches_plain_lru_cache(self, accesses):
+        icr = ICRCache(make_config("BaseP"))
+        plain = SetAssociativeCache(CacheGeometry(16 * 1024, 4, 64))
+        for now, (block, is_write) in enumerate(accesses):
+            addr = block * 64
+            outcome = icr.access(addr, is_write, now)
+            plain_hit = plain.access(addr, is_write, now)
+            assert outcome.hit == plain_hit
+        assert icr.stats.hits == plain.stats.hits
+        assert icr.stats.misses == plain.stats.misses
+        assert icr.stats.writebacks == plain.stats.writebacks
+        # Identical resident sets.
+        icr_contents = {
+            (si, b.block_addr, b.dirty) for si, _, b in icr.iter_valid_blocks()
+        }
+        plain_contents = {
+            (si, b.block_addr, b.dirty) for si, _, b in plain.iter_valid_blocks()
+        }
+        assert icr_contents == plain_contents
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=40, deadline=None)
+    def test_basep_and_baseecc_same_behaviour(self, accesses):
+        """Protection kind affects latency/energy, never cache state."""
+        p = ICRCache(make_config("BaseP"))
+        e = ICRCache(make_config("BaseECC"))
+        for now, (block, is_write) in enumerate(accesses):
+            op = p.access(block * 64, is_write, now)
+            oe = e.access(block * 64, is_write, now)
+            assert op.hit == oe.hit
+            if not is_write and op.hit:
+                # ECC loads pay the extra verification cycle.
+                assert oe.latency == op.latency + 1
+
+
+class TestLookupModeEquivalence:
+    @given(accesses=ACCESSES)
+    @settings(max_examples=40, deadline=None)
+    def test_ps_and_pp_identical_contents(self, accesses):
+        """PS vs PP changes load latency and reads, not placement."""
+        ps = ICRCache(make_config("ICR-P-PS(S)", decay_window=0))
+        pp = ICRCache(make_config("ICR-P-PP(S)", decay_window=0))
+        for now, (block, is_write) in enumerate(accesses):
+            a = ps.access(block * 64, is_write, now)
+            b = pp.access(block * 64, is_write, now)
+            assert a.hit == b.hit
+        assert ps.stats.replication_successes == pp.stats.replication_successes
+        assert ps.stats.load_hits_with_replica == pp.stats.load_hits_with_replica
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=40, deadline=None)
+    def test_track_data_does_not_change_timing_state(self, accesses):
+        """Bit-accurate storage is observational: same hits, same replicas."""
+        lean = ICRCache(make_config("ICR-P-PS(S)", decay_window=0))
+        fat = ICRCache(make_config("ICR-P-PS(S)", decay_window=0, track_data=True))
+        for now, (block, is_write) in enumerate(accesses):
+            a = lean.access(block * 64, is_write, now)
+            b = fat.access(block * 64, is_write, now)
+            assert a.hit == b.hit
+            assert a.latency == b.latency
+        assert lean.stats.replication_successes == fat.stats.replication_successes
+        assert lean.stats.misses == fat.stats.misses

@@ -1,0 +1,174 @@
+"""Property-based invariants of the ICR cache under random access streams.
+
+Hypothesis drives random load/store sequences through every scheme family
+and checks the structural invariants that must hold at *every* step:
+
+* link integrity — every replica's backlink points at a valid primary that
+  lists it (drop mode), and every listed replica is a valid replica of the
+  same block;
+* role consistency — at most one valid primary per block address; replicas
+  only ever live at configured distances from their primary's home set;
+* conservation — hits + misses == accesses, successes <= attempts;
+* protection consistency — replicated primaries carry the replicated-state
+  protection kind, unreplicated ones the configured base kind.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.protection import ProtectionKind
+from repro.core.config import VictimPolicy
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+
+ACCESSES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=511),  # block index
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+SCHEMES = st.sampled_from(
+    ["ICR-P-PS(S)", "ICR-P-PS(LS)", "ICR-ECC-PS(S)", "ICR-P-PP(LS)"]
+)
+POLICIES = st.sampled_from(list(VictimPolicy))
+WINDOWS = st.sampled_from([0, 100, 1000, None])
+
+
+def check_invariants(cache: ICRCache) -> None:
+    config = cache.config
+    n_sets = cache.geometry.n_sets
+    allowed = set(config.all_replica_distances())
+    primaries: dict[int, int] = {}
+    for set_index, way, block in cache.iter_valid_blocks():
+        assert cache.geometry.set_index(block.block_addr) % n_sets >= 0
+        if block.is_replica:
+            assert not block.dirty, "replicas are never dirty"
+            primary = block.primary_ref
+            if not config.leave_replicas_on_evict:
+                assert primary is not None, "drop mode cannot orphan replicas"
+            if primary is not None:
+                assert primary.valid and not primary.is_replica
+                assert primary.block_addr == block.block_addr
+                assert block in primary.replica_refs
+            home = cache.geometry.set_index(block.block_addr)
+            assert (set_index - home) % n_sets in allowed
+        else:
+            assert block.block_addr not in primaries, "duplicate primary"
+            primaries[block.block_addr] = set_index
+            assert set_index == cache.geometry.set_index(block.block_addr)
+            for replica in block.replica_refs:
+                assert replica.valid and replica.is_replica
+                assert replica.block_addr == block.block_addr
+                assert replica.primary_ref is block
+            expected = config.protection_for(bool(block.replica_refs))
+            assert block.protection is expected
+
+
+def run_stream(cache: ICRCache, accesses) -> None:
+    for now, (block, is_write) in enumerate(accesses):
+        cache.access(block * 64, is_write, now * 3)
+
+
+class TestStructuralInvariants:
+    @given(accesses=ACCESSES, scheme=SCHEMES, policy=POLICIES, window=WINDOWS)
+    @settings(max_examples=120, deadline=None)
+    def test_invariants_hold_under_random_streams(
+        self, accesses, scheme, policy, window
+    ):
+        cache = ICRCache(
+            make_config(scheme, decay_window=window, victim_policy=policy)
+        )
+        run_stream(cache, accesses)
+        check_invariants(cache)
+
+    @given(accesses=ACCESSES, scheme=SCHEMES)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_in_leave_mode(self, accesses, scheme):
+        cache = ICRCache(
+            make_config(scheme, decay_window=0, leave_replicas_on_evict=True)
+        )
+        run_stream(cache, accesses)
+        check_invariants(cache)
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_with_two_replicas(self, accesses):
+        cache = ICRCache(
+            make_config(
+                "ICR-P-PS(S)",
+                decay_window=0,
+                max_replicas=2,
+                second_replica_distances=("N/4",),
+            )
+        )
+        run_stream(cache, accesses)
+        check_invariants(cache)
+        for _, _, block in cache.iter_valid_blocks():
+            if not block.is_replica:
+                assert len(block.replica_refs) <= 2
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_with_horizontal_replication(self, accesses):
+        cache = ICRCache(
+            make_config("ICR-P-PS(S)", decay_window=0, replica_distances=("0",))
+        )
+        run_stream(cache, accesses)
+        check_invariants(cache)
+
+
+class TestAccountingInvariants:
+    @given(accesses=ACCESSES, scheme=SCHEMES)
+    @settings(max_examples=60, deadline=None)
+    def test_counter_conservation(self, accesses, scheme):
+        cache = ICRCache(make_config(scheme, decay_window=0))
+        run_stream(cache, accesses)
+        s = cache.stats
+        assert s.loads + s.stores == len(accesses)
+        assert s.load_hits + s.load_misses == s.loads
+        assert s.store_hits + s.store_misses == s.stores
+        assert s.replication_successes <= s.replication_attempts
+        assert s.second_replica_successes <= s.second_replica_attempts
+        assert s.load_hits_with_replica <= s.load_hits
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=40, deadline=None)
+    def test_same_stream_same_hits_across_protection(self, accesses):
+        """Protection (parity vs ECC) must not change cache behaviour."""
+        a = ICRCache(make_config("ICR-P-PS(S)", decay_window=0))
+        b = ICRCache(make_config("ICR-ECC-PS(S)", decay_window=0))
+        run_stream(a, accesses)
+        run_stream(b, accesses)
+        assert a.stats.hits == b.stats.hits
+        assert a.stats.replication_successes == b.stats.replication_successes
+
+
+class TestDataIntegrity:
+    @given(accesses=ACCESSES)
+    @settings(max_examples=30, deadline=None)
+    def test_tracked_words_match_golden_without_faults(self, accesses):
+        """With no injector, stored words always verify and match golden."""
+        cache = ICRCache(make_config("ICR-P-PS(S)", decay_window=0, track_data=True))
+        run_stream(cache, accesses)
+        for _, _, block in cache.iter_valid_blocks():
+            if block.words is None:
+                continue
+            for word, golden in zip(block.words, block.golden):
+                outcome = word.read()
+                assert not outcome.error_detected
+                assert outcome.data == golden
+
+    @given(accesses=ACCESSES)
+    @settings(max_examples=30, deadline=None)
+    def test_no_error_counters_without_injector(self, accesses):
+        cache = ICRCache(make_config("ICR-P-PS(S)", decay_window=0, track_data=True))
+        run_stream(cache, accesses)
+        s = cache.stats
+        assert s.errors_injected == 0
+        assert s.load_errors_detected == 0
+        assert s.silent_corruptions == 0
+        assert s.load_errors_unrecoverable == 0

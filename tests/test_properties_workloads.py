@@ -1,0 +1,124 @@
+"""Property-based tests over randomized workload profiles and pipelines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.core.schemes import make_cache
+from repro.cpu.isa import MEMORY_OPS, OP_BRANCH, N_REGS
+from repro.cpu.pipeline import OutOfOrderPipeline, PipelineConfig
+from repro.workloads.generator import WorkloadGenerator, WorkloadProfile
+
+# Random-but-valid profiles: region probabilities are normalized from
+# free weights so the sum-to-one invariant always holds.
+profiles = st.builds(
+    lambda wh, ws, wc, wk, mem, store, branch, hot, zipf, seed: WorkloadProfile(
+        name="hyp",
+        mem_fraction=mem,
+        store_ratio=store,
+        branch_fraction=branch,
+        p_hot=wh / (wh + ws + wc + wk),
+        p_stream=ws / (wh + ws + wc + wk),
+        p_chase=wc / (wh + ws + wc + wk),
+        p_stack=1.0
+        - wh / (wh + ws + wc + wk)
+        - ws / (wh + ws + wc + wk)
+        - wc / (wh + ws + wc + wk),
+        hot_blocks=hot,
+        zipf_s=zipf,
+        seed=seed,
+    ),
+    wh=st.floats(min_value=0.1, max_value=5),
+    ws=st.floats(min_value=0.1, max_value=5),
+    wc=st.floats(min_value=0.0, max_value=2),
+    wk=st.floats(min_value=0.1, max_value=5),
+    mem=st.floats(min_value=0.1, max_value=0.6),
+    store=st.floats(min_value=0.05, max_value=0.6),
+    branch=st.floats(min_value=0.02, max_value=0.3),
+    hot=st.integers(min_value=8, max_value=300),
+    zipf=st.floats(min_value=0.3, max_value=1.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestGeneratorProperties:
+    @given(profile=profiles)
+    @settings(max_examples=30, deadline=None)
+    def test_any_valid_profile_generates_valid_traces(self, profile):
+        trace = WorkloadGenerator(profile).generate(2_000)
+        trace.validate()
+        assert len(trace) == 2_000
+
+    @given(profile=profiles)
+    @settings(max_examples=20, deadline=None)
+    def test_generation_is_deterministic(self, profile):
+        a = WorkloadGenerator(profile).generate(1_000)
+        b = WorkloadGenerator(profile).generate(1_000)
+        assert a.op == b.op and a.addr == b.addr and a.pc == b.pc
+
+    @given(profile=profiles)
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_property(self, profile):
+        """A shorter trace is an exact prefix of a longer one."""
+        short = WorkloadGenerator(profile).generate(500)
+        long = WorkloadGenerator(profile).generate(1_500)
+        assert long.op[:500] == short.op
+        assert long.addr[:500] == short.addr
+
+    @given(profile=profiles)
+    @settings(max_examples=20, deadline=None)
+    def test_registers_in_range(self, profile):
+        trace = WorkloadGenerator(profile).generate(1_000)
+        for dest, src1, src2 in zip(trace.dest, trace.src1, trace.src2):
+            assert 0 <= dest < N_REGS
+            assert 0 <= src1 < N_REGS
+            assert 0 <= src2 < N_REGS
+
+    @given(profile=profiles)
+    @settings(max_examples=15, deadline=None)
+    def test_memory_ops_have_addresses(self, profile):
+        trace = WorkloadGenerator(profile).generate(1_000)
+        for op, addr in zip(trace.op, trace.addr):
+            if op in MEMORY_OPS:
+                assert addr > 0
+            if op == OP_BRANCH:
+                assert addr == 0
+
+
+class TestPipelineProperties:
+    def _cycles(self, trace, scheme="BaseP", config=None):
+        hierarchy = MemoryHierarchy(make_cache(scheme), HierarchyConfig())
+        return OutOfOrderPipeline(hierarchy, config).run(trace).cycles
+
+    @given(profile=profiles)
+    @settings(max_examples=12, deadline=None)
+    def test_cycles_at_least_width_bound(self, profile):
+        """Can never finish faster than issue-width allows."""
+        trace = WorkloadGenerator(profile).generate(1_000)
+        assert self._cycles(trace) >= len(trace) / 4
+
+    @given(profile=profiles)
+    @settings(max_examples=12, deadline=None)
+    def test_slower_memory_never_helps(self, profile):
+        """Monotonicity: ECC's 2-cycle loads can only add cycles."""
+        trace = WorkloadGenerator(profile).generate(1_500)
+        assert self._cycles(trace, "BaseECC") >= self._cycles(trace, "BaseP")
+
+    @given(profile=profiles)
+    @settings(max_examples=12, deadline=None)
+    def test_narrower_machine_never_faster(self, profile):
+        trace = WorkloadGenerator(profile).generate(1_500)
+        narrow = self._cycles(
+            trace, config=PipelineConfig(issue_width=1, ruu_size=4, lsq_size=2)
+        )
+        wide = self._cycles(trace)
+        assert narrow >= wide
+
+    @given(profile=profiles)
+    @settings(max_examples=10, deadline=None)
+    def test_icr_never_wins_in_drop_mode(self, profile):
+        """Without leave-in-place, replication can only cost cycles."""
+        trace = WorkloadGenerator(profile).generate(1_500)
+        base = self._cycles(trace, "BaseP")
+        icr = self._cycles(trace, "ICR-P-PS(S)")
+        assert icr >= base * 0.999  # paired traces; tiny slack for ties

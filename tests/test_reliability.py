@@ -1,0 +1,178 @@
+"""Tests for the vulnerability census and MTTF estimation."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.coding.protection import ProtectionKind
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+from repro.harness.experiment import run_experiment
+from repro.reliability import (
+    ExposureClass,
+    VulnerabilityMonitor,
+    classify_block,
+    fit_consumption_factor,
+    predicted_unrecoverable_rate,
+)
+
+
+def block(*, dirty=False, replica=False, has_replica=False, ecc=False):
+    b = CacheBlock()
+    b.fill(0x1, 0, is_replica=replica, dirty=dirty)
+    if has_replica:
+        b.replica_refs.append(CacheBlock())
+    b.protection = ProtectionKind.ECC if ecc else ProtectionKind.PARITY
+    return b
+
+
+class TestClassification:
+    def test_ecc_always_safe(self):
+        assert classify_block(block(dirty=True, ecc=True)) is ExposureClass.SAFE_ECC
+
+    def test_replicated_dirty_is_safe(self):
+        b = block(dirty=True, has_replica=True)
+        assert classify_block(b) is ExposureClass.SAFE_REPLICA
+
+    def test_replica_line_itself_is_safe(self):
+        assert classify_block(block(replica=True)) is ExposureClass.SAFE_REPLICA
+
+    def test_clean_parity_is_refetchable(self):
+        assert classify_block(block()) is ExposureClass.SAFE_CLEAN
+
+    def test_dirty_parity_unreplicated_is_vulnerable(self):
+        assert classify_block(block(dirty=True)) is ExposureClass.VULNERABLE
+
+
+class TestMonitor:
+    def test_census_integrates_over_time(self):
+        cache = ICRCache(make_config("BaseP"))
+        monitor = VulnerabilityMonitor(cache, sample_period=10)
+        cache.access(0, True, 0)  # dirty block
+        cache.access(0, True, 1000)
+        cache.access(0, True, 2000)
+        report = monitor.finish(3000)
+        assert report.observed_cycles == 3000
+        assert report.block_cycles[ExposureClass.VULNERABLE] > 0
+
+    def test_vulnerable_fraction_bounds(self):
+        cache = ICRCache(make_config("BaseP"))
+        monitor = VulnerabilityMonitor(cache, sample_period=10)
+        for i in range(100):
+            cache.access(i * 64, i % 2 == 0, i * 50)
+        report = monitor.finish(100 * 50)
+        assert 0.0 <= report.vulnerable_fraction <= 1.0
+
+    def test_invalid_period_rejected(self):
+        cache = ICRCache(make_config("BaseP"))
+        with pytest.raises(ValueError):
+            VulnerabilityMonitor(cache, sample_period=0)
+
+    def test_empty_run_reports_zero(self):
+        cache = ICRCache(make_config("BaseP"))
+        monitor = VulnerabilityMonitor(cache)
+        report = monitor.finish(0)
+        assert report.vulnerable_fraction == 0.0
+        assert report.total_block_cycles == 0.0
+
+
+class TestSchemeOrdering:
+    """The analytical census must reproduce the Figure 14 ordering."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        out = {}
+        for scheme, kw in (
+            ("BaseP", {}),
+            ("ICR-P-PS(S)", dict(decay_window=1000)),
+            ("BaseECC", {}),
+        ):
+            r = run_experiment(
+                "vortex", scheme, n_instructions=30_000,
+                measure_vulnerability=True, **kw,
+            )
+            out[scheme] = r.vulnerability
+        return out
+
+    def test_icr_less_vulnerable_than_basep(self, reports):
+        assert (
+            reports["ICR-P-PS(S)"].vulnerable_fraction
+            < reports["BaseP"].vulnerable_fraction
+        )
+
+    def test_ecc_never_vulnerable_to_single_bits(self, reports):
+        assert reports["BaseECC"].vulnerable_fraction == 0.0
+
+    def test_replica_exposure_only_in_icr(self, reports):
+        assert reports["ICR-P-PS(S)"].fraction(ExposureClass.SAFE_REPLICA) > 0.1
+        assert reports["BaseP"].fraction(ExposureClass.SAFE_REPLICA) == 0.0
+
+
+class TestMTTF:
+    def test_rate_scales_with_probability(self):
+        cache = ICRCache(make_config("BaseP"))
+        monitor = VulnerabilityMonitor(cache, sample_period=10)
+        cache.access(0, True, 0)
+        report = monitor.finish(1000)
+        slow = predicted_unrecoverable_rate(report, 1e-6)
+        fast = predicted_unrecoverable_rate(report, 1e-3)
+        assert fast.fatal_rate_per_cycle == pytest.approx(
+            slow.fatal_rate_per_cycle * 1000
+        )
+        assert slow.mttf_cycles > fast.mttf_cycles
+
+    def test_zero_vulnerability_means_infinite_mttf(self):
+        cache = ICRCache(make_config("BaseECC"))
+        monitor = VulnerabilityMonitor(cache, sample_period=10)
+        cache.access(0, True, 0)
+        report = monitor.finish(1000)
+        est = predicted_unrecoverable_rate(report, 1e-3)
+        assert est.mttf_cycles == float("inf")
+
+    def test_mttf_seconds_uses_clock(self):
+        cache = ICRCache(make_config("BaseP"))
+        monitor = VulnerabilityMonitor(cache, sample_period=10)
+        cache.access(0, True, 0)
+        report = monitor.finish(1000)
+        est = predicted_unrecoverable_rate(report, 1e-3)
+        assert est.mttf_seconds(1e9) == pytest.approx(est.mttf_cycles / 1e9)
+
+    def test_negative_probability_rejected(self):
+        cache = ICRCache(make_config("BaseP"))
+        monitor = VulnerabilityMonitor(cache, sample_period=10)
+        report = monitor.finish(100)
+        with pytest.raises(ValueError):
+            predicted_unrecoverable_rate(report, -0.1)
+
+
+class TestConsumptionFactor:
+    def test_bounds(self):
+        assert fit_consumption_factor(
+            errors_injected=100, unrecoverable=10, vulnerable_fraction=0.5
+        ) == pytest.approx(0.2)
+        assert fit_consumption_factor(
+            errors_injected=0, unrecoverable=0, vulnerable_fraction=0.5
+        ) == 0.0
+        assert (
+            fit_consumption_factor(
+                errors_injected=10, unrecoverable=100, vulnerable_fraction=0.1
+            )
+            == 1.0
+        )
+
+    def test_analytic_view_consistent_with_injection(self):
+        """Cross-validation: injected unrecoverables stay within the
+        analytic upper bound (consumption factor <= 1)."""
+        r = run_experiment(
+            "vortex",
+            "BaseP",
+            n_instructions=30_000,
+            error_rate=1e-2,
+            measure_vulnerability=True,
+        )
+        factor = fit_consumption_factor(
+            errors_injected=r.dl1["errors_injected"],
+            unrecoverable=r.dl1["load_errors_unrecoverable"],
+            vulnerable_fraction=r.vulnerability.vulnerable_fraction,
+        )
+        assert 0.0 <= factor <= 1.0
+        assert r.dl1["load_errors_unrecoverable"] <= r.dl1["errors_injected"]

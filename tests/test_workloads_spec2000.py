@@ -1,0 +1,57 @@
+"""Tests for the eight benchmark profiles."""
+
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.workloads.spec2000 import BENCHMARKS, PROFILES, profile_for
+
+
+class TestRoster:
+    def test_eight_benchmarks(self):
+        assert len(BENCHMARKS) == 8
+        assert set(BENCHMARKS) == set(PROFILES)
+
+    def test_paper_named_benchmarks_present(self):
+        for name in ("gcc", "gzip", "mcf", "mesa", "vortex", "vpr"):
+            assert name in BENCHMARKS
+
+    def test_profile_for(self):
+        assert profile_for("mcf").name == "mcf"
+        with pytest.raises(ValueError):
+            profile_for("specjbb")
+
+    def test_profiles_have_distinct_seeds(self):
+        seeds = [p.seed for p in PROFILES.values()]
+        assert len(seeds) == len(set(seeds))
+
+    def test_fp_benchmarks_use_fp(self):
+        assert PROFILES["mesa"].fp_fraction > 0
+        assert PROFILES["equake"].fp_fraction > 0
+        assert PROFILES["gcc"].fp_fraction == 0
+
+
+class TestCharacter:
+    """Coarse behavioural checks; exact values live in EXPERIMENTS.md."""
+
+    def test_mcf_has_worst_locality(self):
+        results = {
+            b: run_experiment(b, "BaseP", n_instructions=30_000).miss_rate
+            for b in ("mcf", "gzip", "mesa")
+        }
+        assert results["mcf"] > 3 * results["gzip"]
+        assert results["mcf"] > 3 * results["mesa"]
+
+    def test_mesa_has_best_locality(self):
+        mesa = run_experiment("mesa", "BaseP", n_instructions=30_000)
+        assert mesa.miss_rate < 0.03
+
+    def test_vpr_mispredicts_more_than_mesa(self):
+        vpr = run_experiment("vpr", "BaseP", n_instructions=30_000)
+        mesa = run_experiment("mesa", "BaseP", n_instructions=30_000)
+        assert vpr.pipeline.mispredict_rate > mesa.pipeline.mispredict_rate
+
+    def test_all_benchmarks_runnable(self):
+        for bench in BENCHMARKS:
+            result = run_experiment(bench, "BaseP", n_instructions=5_000)
+            assert result.cycles > 0
+            assert result.benchmark == bench

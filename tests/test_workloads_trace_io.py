@@ -1,0 +1,90 @@
+"""Tests for binary trace persistence."""
+
+import pytest
+
+from repro.cpu.isa import OP_BRANCH, OP_INT_ALU, OP_LOAD, Trace
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec2000 import profile_for
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_small_handmade_trace(self, tmp_path):
+        trace = Trace(name="hand")
+        trace.append(OP_LOAD, dest=1, src1=2, pc=0x400000, addr=0x1000)
+        trace.append(OP_BRANCH, pc=0x400004, taken=True, target=0x400000)
+        trace.append(OP_INT_ALU, dest=3, src1=1, src2=2, pc=0x400008)
+        path = tmp_path / "t.icrt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "hand"
+        for column in ("op", "dest", "src1", "src2", "pc", "addr", "taken", "target"):
+            assert getattr(loaded, column) == getattr(trace, column)
+
+    def test_generated_trace_roundtrip(self, tmp_path):
+        trace = WorkloadGenerator(profile_for("gzip")).generate(8000)
+        path = tmp_path / "gzip.icrt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == 8000
+        assert loaded.op == trace.op
+        assert loaded.addr == trace.addr
+        assert loaded.taken == trace.taken
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.cache.hierarchy import MemoryHierarchy
+        from repro.core.schemes import make_cache
+        from repro.cpu.pipeline import OutOfOrderPipeline
+
+        trace = WorkloadGenerator(profile_for("mesa")).generate(5000)
+        path = tmp_path / "mesa.icrt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+
+        def cycles(t):
+            return OutOfOrderPipeline(MemoryHierarchy(make_cache("BaseP"))).run(t).cycles
+
+        assert cycles(loaded) == cycles(trace)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.icrt"
+        save_trace(Trace(name="empty"), path)
+        assert len(load_trace(path)) == 0
+
+    def test_compression_is_effective(self, tmp_path):
+        trace = WorkloadGenerator(profile_for("gzip")).generate(20_000)
+        path = tmp_path / "c.icrt"
+        save_trace(trace, path)
+        raw_size = len(trace) * 8 * 8
+        assert path.stat().st_size < raw_size / 2
+
+
+class TestErrorHandling:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.icrt"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="not an ICRT"):
+            load_trace(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.icrt"
+        path.write_bytes(b"ICRT" + (99).to_bytes(4, "little") + b"\x00" * 64)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = Trace(name="x")
+        trace.append(OP_INT_ALU, dest=1)
+        path = tmp_path / "t.icrt"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 4])
+        with pytest.raises(Exception):
+            load_trace(path)
+
+    def test_invalid_trace_not_saved(self, tmp_path):
+        trace = Trace(name="bad")
+        trace.append(OP_INT_ALU)
+        trace.op[0] = 99  # corrupt
+        with pytest.raises(ValueError):
+            save_trace(trace, tmp_path / "x.icrt")
