@@ -5,11 +5,31 @@ Every ``bench_fig*.py`` module regenerates one figure of the paper via
 ``benchmarks/results/`` and asserts the figure's *shape* (who wins, in
 which direction).  Timing is collected with pytest-benchmark in a single
 round — the interesting output is the table, not the wall-clock.
+
+The suite runs on the parallel execution engine
+(:mod:`repro.harness.runner`), configured through the environment:
+
+``REPRO_BENCH_JOBS``
+    Worker processes (default 1 = serial, in-process — identical to the
+    historical behavior).  With more than one, each figure's job grid is
+    prefetched through the worker pool before the figure function
+    replays it, so the recorded tables are bit-identical either way.
+``REPRO_BENCH_CACHE``
+    Set to ``1`` to persist results in the content-addressed cache
+    (``REPRO_CACHE_DIR`` or ``~/.cache/repro``); re-running the suite
+    after an interrupted run then only simulates the missing figures.
+    Off by default so benchmark timings stay honest.
 """
 
+import os
 import pathlib
 
 import pytest
+
+from repro.harness import figures as figures_mod
+from repro.harness.cache import ResultCache
+from repro.harness.figures import ALL_FIGURES
+from repro.harness.runner import ParallelRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -17,6 +37,59 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: metrics (see tests/test_integration_convergence.py), small enough that
 #: the whole suite finishes in minutes.
 BENCH_INSTRUCTIONS = 60_000
+
+
+def _engine_from_env():
+    """The session's ParallelRunner, or None for plain serial execution."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    cache_on = os.environ.get("REPRO_BENCH_CACHE", "") == "1"
+    if jobs <= 1 and not cache_on:
+        return None
+    cache = ResultCache() if cache_on else None
+    return ParallelRunner(jobs=jobs, cache=cache)
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """Session-wide execution engine (None = direct serial calls)."""
+    runner = _engine_from_env()
+    yield runner
+    if runner is not None and runner.stats.jobs:
+        print("\n" + runner.stats.summary())
+
+
+def _figure_id_for(module_name: str):
+    """Map ``bench_fig05_vertical_horizontal`` -> ``fig05`` (or None)."""
+    stem = module_name.removeprefix("bench_")
+    candidates = [fid for fid in ALL_FIGURES if stem.startswith(fid)]
+    return max(candidates, key=len) if candidates else None
+
+
+@pytest.fixture(autouse=True)
+def _parallel_prefetch(request, engine):
+    """Warm the engine's cache for this module's figure, then replay.
+
+    With ``REPRO_BENCH_JOBS > 1`` the figure's whole job grid is traced
+    and fanned out over the worker pool *before* the benchmarked call;
+    the benchmarked figure function then replays from the in-memory memo.
+    With a serial engine (or none) this only installs the execution
+    context, preserving the historical behavior exactly.
+    """
+    if engine is None:
+        yield
+        return
+    figure_id = _figure_id_for(request.node.module.__name__)
+    if (
+        engine.jobs > 1
+        and figure_id is not None
+        and figure_id not in figures_mod.PREFETCH_UNSAFE
+    ):
+        collector = figures_mod._JobCollector()
+        with figures_mod.execution_context(collector):
+            ALL_FIGURES[figure_id](n=BENCH_INSTRUCTIONS)
+        engine.run(collector.jobs)
+    with figures_mod.execution_context(engine):
+        yield
 
 
 @pytest.fixture

@@ -6,7 +6,16 @@ Installed as the ``repro-icr`` console script::
     repro-icr run gzip "ICR-P-PS(S)" --instructions 100000
     repro-icr run vortex BaseP --error-rate 1e-2
     repro-icr compare mcf --relaxed
-    repro-icr figure fig09 --instructions 40000
+    repro-icr figure fig09 --instructions 40000 --jobs 4
+
+``run``, ``compare`` and ``figure`` all execute through the parallel
+runner (:mod:`repro.harness.runner`): ``--jobs N`` fans the experiment
+grid over N worker processes (``--jobs 1`` stays fully in-process, so
+pdb/coverage keep working), and results are persisted in the
+content-addressed cache under ``~/.cache/repro`` (``--cache-dir`` to
+relocate, ``--no-cache`` to bypass).  A one-line metrics summary — jobs,
+cache hits, sims/sec — is printed to stderr so stdout stays a clean,
+serial-identical table.
 """
 
 from __future__ import annotations
@@ -17,10 +26,43 @@ from typing import Optional, Sequence
 
 from repro.core.config import VictimPolicy
 from repro.core.schemes import ALL_SCHEMES
-from repro.harness.experiment import run_experiment
-from repro.harness.figures import AGGRESSIVE, ALL_FIGURES, RELAXED
+from repro.harness.cache import ResultCache
+from repro.harness.figures import AGGRESSIVE, ALL_FIGURES, RELAXED, run_figure
 from repro.harness.report import format_table, percent
+from repro.harness.runner import Job, ParallelRunner
 from repro.workloads.spec2000 import BENCHMARKS
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: all cores; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(cache_dir=args.cache_dir)
+    return ParallelRunner(jobs=args.jobs, cache=cache, progress=sys.stderr.isatty())
+
+
+def _report_metrics(runner: ParallelRunner) -> None:
+    print(runner.stats.summary(), file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,6 +92,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="random",
     )
     run.add_argument("--vulnerability", action="store_true")
+    _add_runner_flags(run)
 
     compare = sub.add_parser("compare", help="run all ten schemes on a benchmark")
     compare.add_argument("benchmark", choices=BENCHMARKS)
@@ -59,10 +102,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="decay window 1000 + dead-first (Section 5.4) instead of aggressive",
     )
+    _add_runner_flags(compare)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("figure_id", choices=sorted(ALL_FIGURES))
     figure.add_argument("--instructions", type=int, default=60_000)
+    _add_runner_flags(figure)
 
     return parser
 
@@ -83,7 +128,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs["victim_policy"] = VictimPolicy(args.victim)
     if args.leave_replicas:
         kwargs["leave_replicas_on_evict"] = True
-    result = run_experiment(
+    runner = _make_runner(args)
+    result = runner.run_one(
         args.benchmark,
         args.scheme,
         n_instructions=args.instructions,
@@ -109,35 +155,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"  AVF (vulnerable)  : {percent(result.vulnerability.vulnerable_fraction)}"
         )
+    _report_metrics(runner)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     knobs = RELAXED if args.relaxed else AGGRESSIVE
-    rows = []
-    base_cycles: Optional[int] = None
-    for scheme in ALL_SCHEMES:
-        extra = {} if scheme.startswith("Base") else knobs
-        r = run_experiment(
-            args.benchmark, scheme, n_instructions=args.instructions, **extra
+    runner = _make_runner(args)
+    grid = [
+        Job(
+            args.benchmark,
+            scheme,
+            dict(
+                n_instructions=args.instructions,
+                **({} if scheme.startswith("Base") else knobs),
+            ),
         )
-        if base_cycles is None:
-            base_cycles = r.cycles
-        rows.append(
-            [scheme, r.cycles / base_cycles, r.miss_rate, r.loads_with_replica]
-        )
+        for scheme in ALL_SCHEMES
+    ]
+    results = runner.run(grid)
+    base_cycles = results[0].cycles
+    rows = [
+        [r.scheme, r.cycles / base_cycles, r.miss_rate, r.loads_with_replica]
+        for r in results
+    ]
     print(
         format_table(
             ["scheme", "norm_cycles", "miss_rate", "loads_w_replica"], rows
         )
     )
+    _report_metrics(runner)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    fn = ALL_FIGURES[args.figure_id]
-    result = fn(n=args.instructions)
+    runner = _make_runner(args)
+    result = run_figure(args.figure_id, runner=runner, n=args.instructions)
     print(result.to_table())
+    _report_metrics(runner)
     return 0
 
 

@@ -1,5 +1,13 @@
 """Experiment harness: runners, per-figure reproduction, sweeps, reports."""
 
+from repro.harness.cache import (
+    ResultCache,
+    UncacheableJobError,
+    code_version,
+    job_key,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.harness.experiment import (
     DEFAULT_INSTRUCTIONS,
     MachineConfig,
@@ -8,8 +16,21 @@ from repro.harness.experiment import (
     run_experiment,
     run_schemes,
 )
-from repro.harness.figures import ALL_FIGURES, AGGRESSIVE, RELAXED, FigureResult
+from repro.harness.figures import (
+    ALL_FIGURES,
+    AGGRESSIVE,
+    RELAXED,
+    FigureResult,
+    execution_context,
+    run_figure,
+)
 from repro.harness.report import format_table, percent, relative
+from repro.harness.runner import (
+    Job,
+    ParallelRunner,
+    RunnerError,
+    RunnerStats,
+)
 from repro.harness.sweeps import SweepResult, decay_window_sweep, scheme_sweep, sweep
 
 __all__ = [
@@ -23,6 +44,8 @@ __all__ = [
     "AGGRESSIVE",
     "RELAXED",
     "FigureResult",
+    "execution_context",
+    "run_figure",
     "format_table",
     "percent",
     "relative",
@@ -30,4 +53,14 @@ __all__ = [
     "decay_window_sweep",
     "scheme_sweep",
     "sweep",
+    "Job",
+    "ParallelRunner",
+    "RunnerError",
+    "RunnerStats",
+    "ResultCache",
+    "UncacheableJobError",
+    "code_version",
+    "job_key",
+    "result_from_dict",
+    "result_to_dict",
 ]

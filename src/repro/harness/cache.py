@@ -1,0 +1,326 @@
+"""Content-addressed, on-disk cache for experiment results.
+
+Re-running a figure or sweep with one changed configuration should only
+simulate the delta.  To make that safe, a cached result is keyed by a
+stable hash over *everything the simulation depends on*:
+
+* the resolved :class:`~repro.workloads.generator.WorkloadProfile`
+  (benchmark names are resolved to their full parameter set, so editing
+  a profile invalidates its entries);
+* the scheme — name plus every scheme kwarg, or a prebuilt
+  :class:`~repro.core.config.ICRConfig` field-by-field;
+* the run parameters (``n_instructions``, machine, error rate / model /
+  seed, scrub period, trace seed, warm-up, iL1 error rate), with
+  omitted arguments normalized to :func:`run_experiment`'s defaults so
+  an explicit default and an omitted one share a key;
+* a digest of the ``repro`` package source (the *code version*), so any
+  edit to the simulator invalidates the whole cache.
+
+Entries live under ``~/.cache/repro`` (override with ``--cache-dir`` or
+the ``REPRO_CACHE_DIR`` environment variable) as one JSON file per
+result, sharded by the first two hex digits of the key.  A corrupted or
+truncated entry is treated as a miss — it is deleted and the experiment
+recomputed, never raised to the caller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.core.config import ICRConfig
+from repro.cpu.branch import PredictorStats
+from repro.cpu.pipeline import PipelineResult
+from repro.energy.accounting import EnergyBreakdown
+from repro.harness.experiment import (
+    DEFAULT_INSTRUCTIONS,
+    MachineConfig,
+    SimulationResult,
+)
+from repro.workloads.generator import WorkloadProfile
+from repro.workloads.spec2000 import profile_for
+
+#: Bumped whenever the on-disk entry format changes.
+CACHE_FORMAT = 1
+
+#: Defaults of :func:`run_experiment`'s named parameters; omitted kwargs
+#: are normalized against these before hashing.
+_RUN_DEFAULTS: dict[str, Any] = {
+    "n_instructions": DEFAULT_INSTRUCTIONS,
+    "machine": None,
+    "error_rate": 0.0,
+    "error_model": "random",
+    "error_seed": 12345,
+    "measure_vulnerability": False,
+    "scrub_period": None,
+    "trace_seed": 0,
+    "warmup_instructions": 0,
+    "icache_error_rate": 0.0,
+}
+
+
+class UncacheableJobError(ValueError):
+    """The job's parameters cannot be canonicalized to a stable key.
+
+    Raised for values with no stable content representation (live
+    objects such as :class:`~repro.core.hints.ReplicationHints`
+    instances, callables, ...).  Callers fall back to running the
+    experiment uncached.
+    """
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``repro/**/*.py`` source file.
+
+    Any edit to the simulator (or the harness itself) changes the
+    version and therefore every cache key — stale results can never be
+    served across code changes.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.blake2b(digest_size=8)
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce *value* to JSON-stable plain data (or raise Uncacheable)."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; NaN never equals itself, so
+        # refuse it rather than silently aliasing keys.
+        if value != value:
+            raise UncacheableJobError("NaN parameter value")
+        return repr(value)
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": value.value}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for k in sorted(value):
+            if not isinstance(k, str):
+                raise UncacheableJobError(f"non-string dict key {k!r}")
+            out[k] = _canonical(value[k])
+        return out
+    raise UncacheableJobError(f"cannot canonicalize {type(value).__name__}")
+
+
+def job_key(
+    benchmark: Union[str, WorkloadProfile],
+    scheme: Union[str, ICRConfig],
+    kwargs: Optional[dict] = None,
+) -> str:
+    """Stable content hash for one :func:`run_experiment` invocation.
+
+    Raises :class:`UncacheableJobError` when any parameter has no
+    stable representation.
+    """
+    profile = profile_for(benchmark) if isinstance(benchmark, str) else benchmark
+    merged = dict(_RUN_DEFAULTS)
+    merged.update(kwargs or {})
+    if merged["machine"] is None:
+        merged["machine"] = MachineConfig()
+    payload = {
+        "format": CACHE_FORMAT,
+        "code": code_version(),
+        "profile": _canonical(profile),
+        "scheme": _canonical(scheme),
+        "kwargs": _canonical(merged),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SimulationResult <-> JSON
+# ---------------------------------------------------------------------------
+
+
+def _vulnerability_to_dict(report) -> dict:
+    return {
+        "block_cycles": {c.value: v for c, v in report.block_cycles.items()},
+        "invalid_block_cycles": report.invalid_block_cycles,
+        "observed_cycles": report.observed_cycles,
+        "samples": report.samples,
+        "total_blocks": report.total_blocks,
+    }
+
+
+def _vulnerability_from_dict(data: dict):
+    from repro.reliability.vulnerability import ExposureClass, VulnerabilityReport
+
+    return VulnerabilityReport(
+        block_cycles={
+            ExposureClass(name): value
+            for name, value in data["block_cycles"].items()
+        },
+        invalid_block_cycles=data["invalid_block_cycles"],
+        observed_cycles=data["observed_cycles"],
+        samples=data["samples"],
+        total_blocks=data["total_blocks"],
+    )
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Lossless plain-data form of a :class:`SimulationResult`."""
+    p = result.pipeline
+    return {
+        "format": CACHE_FORMAT,
+        "benchmark": result.benchmark,
+        "scheme": result.scheme,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "pipeline": {
+            "cycles": p.cycles,
+            "instructions": p.instructions,
+            "loads": p.loads,
+            "stores": p.stores,
+            "branches": p.branches,
+            "mispredicts": p.mispredicts,
+            "predictor_stats": dataclasses.asdict(p.predictor_stats),
+        },
+        "dl1": dict(result.dl1),
+        "miss_rate": result.miss_rate,
+        "load_miss_rate": result.load_miss_rate,
+        "replication_ability": result.replication_ability,
+        "second_replica_ability": result.second_replica_ability,
+        "loads_with_replica": result.loads_with_replica,
+        "unrecoverable_load_fraction": result.unrecoverable_load_fraction,
+        "energy": dataclasses.asdict(result.energy),
+        "write_buffer_stalls": result.write_buffer_stalls,
+        "vulnerability": (
+            _vulnerability_to_dict(result.vulnerability)
+            if result.vulnerability is not None
+            else None
+        ),
+        "l1i": dict(result.l1i) if result.l1i is not None else None,
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Inverse of :func:`result_to_dict` (raises on malformed input)."""
+    if data.get("format") != CACHE_FORMAT:
+        raise ValueError(f"unsupported cache entry format {data.get('format')!r}")
+    p = data["pipeline"]
+    pipeline = PipelineResult(
+        cycles=p["cycles"],
+        instructions=p["instructions"],
+        loads=p["loads"],
+        stores=p["stores"],
+        branches=p["branches"],
+        mispredicts=p["mispredicts"],
+        predictor_stats=PredictorStats(**p["predictor_stats"]),
+    )
+    vulnerability = data["vulnerability"]
+    return SimulationResult(
+        benchmark=data["benchmark"],
+        scheme=data["scheme"],
+        instructions=data["instructions"],
+        cycles=data["cycles"],
+        pipeline=pipeline,
+        dl1=dict(data["dl1"]),
+        miss_rate=data["miss_rate"],
+        load_miss_rate=data["load_miss_rate"],
+        replication_ability=data["replication_ability"],
+        second_replica_ability=data["second_replica_ability"],
+        loads_with_replica=data["loads_with_replica"],
+        unrecoverable_load_fraction=data["unrecoverable_load_fraction"],
+        energy=EnergyBreakdown(**data["energy"]),
+        write_buffer_stalls=data["write_buffer_stalls"],
+        vulnerability=(
+            _vulnerability_from_dict(vulnerability)
+            if vulnerability is not None
+            else None
+        ),
+        l1i=dict(data["l1i"]) if data["l1i"] is not None else None,
+    )
+
+
+class ResultCache:
+    """Persistent result store, one JSON file per job key.
+
+    ``enabled=False`` turns every operation into a no-op (the
+    ``--no-cache`` path), which keeps call sites branch-free.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        *,
+        enabled: bool = True,
+    ):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for *key*, or None (missing/corrupt/disabled)."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+            result = result_from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted / truncated / stale-format entry: drop and recompute.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Persist *result* atomically (rename over a temp file)."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(result_to_dict(result)))
+            os.replace(tmp, path)
+        except OSError:
+            return  # a read-only or full cache dir never fails the run
+        self.stores += 1

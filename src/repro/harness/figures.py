@@ -16,6 +16,7 @@ Two standard configurations (paper Section 5):
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -26,6 +27,7 @@ from repro.harness.experiment import (
     run_experiment,
 )
 from repro.harness.report import format_table
+from repro.harness.runner import Job, ParallelRunner
 from repro.workloads.spec2000 import BENCHMARKS
 
 #: Shared kwargs for the two standard configurations.
@@ -93,8 +95,140 @@ class FigureResult:
         )
 
 
+# ---------------------------------------------------------------------------
+# Execution engine plumbing
+#
+# Every simulation a figure function performs goes through _run().  By
+# default that is a plain run_experiment() call; under an execution
+# context it is routed through a ParallelRunner (caching, metrics) or a
+# job collector (the prefetch pass of run_figure).
+# ---------------------------------------------------------------------------
+
+#: The active execution engine, or None for direct serial execution.
+_CONTEXT = None
+
+
+@contextlib.contextmanager
+def execution_context(engine):
+    """Route every ``_run`` call inside the block through *engine*.
+
+    *engine* is anything with a ``run_one(benchmark, scheme, **kwargs)``
+    method — normally a :class:`~repro.harness.runner.ParallelRunner`.
+    Contexts nest; the previous engine is restored on exit.
+    """
+    global _CONTEXT
+    previous = _CONTEXT
+    _CONTEXT = engine
+    try:
+        yield engine
+    finally:
+        _CONTEXT = previous
+
+
 def _run(bench, scheme, n, **kwargs):
+    if _CONTEXT is not None:
+        return _CONTEXT.run_one(bench, scheme, n_instructions=n, **kwargs)
     return run_experiment(bench, scheme, n_instructions=n, **kwargs)
+
+
+class _Probe(float):
+    """Placeholder result used while collecting a figure's job set.
+
+    Behaves as 1.0 in arithmetic, returns another probe for any
+    attribute or item access, so the row-building code of a figure
+    function runs to completion without a real simulation behind it.
+    """
+
+    def __new__(cls):
+        return super().__new__(cls, 1.0)
+
+    def __getattr__(self, name):
+        return _Probe()
+
+    def __getitem__(self, key):
+        return _Probe()
+
+
+class _JobCollector:
+    """Execution engine that records jobs instead of running them.
+
+    Uncacheable jobs (no stable key) are skipped: their results could
+    not be recovered from the cache during the replay pass, so they run
+    exactly once, serially, during replay.
+    """
+
+    def __init__(self):
+        self.jobs: list[Job] = []
+        self._seen: set[str] = set()
+
+    def run_one(self, benchmark, scheme, **kwargs):
+        job = Job(benchmark, scheme, kwargs)
+        key = job.key()
+        if key is not None and key not in self._seen:
+            self._seen.add(key)
+            self.jobs.append(job)
+        return _Probe()
+
+
+class _ReplayEngine:
+    """Serves the replay pass from the runner's memo without re-counting.
+
+    The batch pass already accounted for every cacheable job in the
+    runner's stats; replaying through ``runner.run_one`` would double
+    the job and hit counters.  Anything not in the memo (uncacheable
+    jobs) falls through to the runner and is counted normally.
+    """
+
+    def __init__(self, runner: ParallelRunner):
+        self.runner = runner
+
+    def run_one(self, benchmark, scheme, **kwargs):
+        key = Job(benchmark, scheme, kwargs).key()
+        if key is not None:
+            hit = self.runner._memo.get(key)
+            if hit is not None:
+                return hit
+        return self.runner.run_one(benchmark, scheme, **kwargs)
+
+
+#: Figure functions that simulate outside _run() (dedicated baseline
+#: models); collecting their jobs would run those baselines twice, so
+#: run_figure executes them in a single pass instead.
+PREFETCH_UNSAFE = frozenset(
+    {"comparison_rcache", "comparison_victim_cache", "comparison_area"}
+)
+
+
+def run_figure(
+    figure_id: str,
+    *,
+    runner: Optional[ParallelRunner] = None,
+    prefetch: Optional[bool] = None,
+    **kwargs,
+) -> FigureResult:
+    """Run one registered figure, optionally through a parallel runner.
+
+    With a *runner*, the figure function is first traced with
+    placeholder results to collect its full (benchmark, scheme) job
+    grid, the grid is executed through ``runner.run`` (worker pool +
+    cache), and the figure function is then replayed against the warmed
+    cache — producing output bit-identical to the serial path.  Set
+    ``prefetch=False`` to skip the trace and run serially (still cached).
+    """
+    fn = ALL_FIGURES[figure_id]
+    if runner is None:
+        return fn(**kwargs)
+    if prefetch is None:
+        prefetch = runner.jobs > 1 and figure_id not in PREFETCH_UNSAFE
+    if prefetch:
+        collector = _JobCollector()
+        with execution_context(collector):
+            fn(**kwargs)
+        runner.run(collector.jobs)
+        with execution_context(_ReplayEngine(runner)):
+            return fn(**kwargs)
+    with execution_context(runner):
+        return fn(**kwargs)
 
 
 # ---------------------------------------------------------------------------

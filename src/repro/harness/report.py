@@ -7,22 +7,37 @@ from typing import Iterable, Sequence
 
 def _fmt(value) -> str:
     if isinstance(value, float):
+        if value != value:  # NaN: keep the cell short and unmistakable
+            return "nan"
         return f"{value:.3f}"
     return str(value)
 
 
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def format_table(columns: Sequence[str], rows: Iterable[Sequence]) -> str:
-    """Render rows as an aligned ASCII table."""
-    str_rows = [[_fmt(v) for v in row] for row in rows]
+    """Render rows as an aligned ASCII table.
+
+    Numeric cells are right-justified so that sign characters and NaNs
+    don't break the column layout; labels stay left-justified.
+    """
+    cell_rows = [[(_fmt(v), _is_numeric(v)) for v in row] for row in rows]
     widths = [len(c) for c in columns]
-    for row in str_rows:
-        for i, cell in enumerate(row):
+    for row in cell_rows:
+        for i, (cell, _) in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
     rule = "-" * len(header)
     lines = [header, rule]
-    for row in str_rows:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    for row in cell_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if numeric else cell.ljust(widths[i])
+                for i, (cell, numeric) in enumerate(row)
+            )
+        )
     return "\n".join(lines)
 
 

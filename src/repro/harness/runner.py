@@ -1,0 +1,360 @@
+"""Parallel experiment execution with caching, timeouts and retries.
+
+:class:`ParallelRunner` is the one execution engine behind the sweep
+utilities, the figure functions and the CLI.  It fans independent
+``(benchmark, scheme, kwargs)`` jobs out over a ``multiprocessing``
+worker pool, consults the content-addressed result cache
+(:mod:`repro.harness.cache`) before simulating anything, and guards
+every job with a wall-clock timeout plus one retry — a crashed or hung
+worker costs one job attempt, not the whole sweep.
+
+Because every experiment is deterministic (seeded traces, seeded fault
+injection), a parallel run returns results *bit-identical* to the serial
+path regardless of worker scheduling; ``tests/test_harness_runner.py``
+locks that equivalence.  With ``jobs=1`` everything runs in-process —
+no fork, no pool — so coverage tools, profilers and ``pdb`` keep
+working.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.core.config import ICRConfig
+from repro.harness.cache import ResultCache, UncacheableJobError, job_key
+from repro.harness.experiment import SimulationResult, run_experiment
+from repro.workloads.generator import WorkloadProfile
+
+
+@dataclass
+class Job:
+    """One :func:`run_experiment` invocation, ready to ship to a worker."""
+
+    benchmark: Union[str, WorkloadProfile]
+    scheme: Union[str, ICRConfig]
+    kwargs: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        bench = (
+            self.benchmark if isinstance(self.benchmark, str) else self.benchmark.name
+        )
+        scheme = self.scheme if isinstance(self.scheme, str) else self.scheme.name
+        return f"{bench}/{scheme}"
+
+    def key(self) -> Optional[str]:
+        """Cache key, or None when the job is uncacheable."""
+        try:
+            return job_key(self.benchmark, self.scheme, self.kwargs)
+        except UncacheableJobError:
+            return None
+
+
+class JobTimeoutError(RuntimeError):
+    """A job exceeded the runner's per-job wall-clock budget."""
+
+
+class RunnerError(RuntimeError):
+    """A job failed on both its first attempt and its retry."""
+
+    def __init__(self, job: Job, detail: str):
+        super().__init__(f"job {job.label} failed twice: {detail}")
+        self.job = job
+        self.detail = detail
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate counters for everything a runner executed."""
+
+    jobs: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    retries: int = 0
+    failures: int = 0
+    uncacheable: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def sims_per_sec(self) -> float:
+        return self.simulated / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary(self) -> str:
+        """The one-line metrics report emitted after a batch."""
+        return (
+            f"[runner] {self.jobs} jobs · "
+            f"{self.cache_hits} cache hits ({self.hit_rate * 100:.1f}%) · "
+            f"{self.simulated} simulated · {self.retries} retries · "
+            f"{self.elapsed:.2f}s · {self.sims_per_sec:.2f} sims/s"
+        )
+
+
+def _run_with_timeout(job: Job, timeout: Optional[float]) -> SimulationResult:
+    """Execute *job*, bounded by an interval timer where the OS has one."""
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return run_experiment(job.benchmark, job.scheme, **job.kwargs)
+
+    def _expired(signum, frame):
+        raise JobTimeoutError(f"job {job.label} exceeded {timeout}s")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return run_experiment(job.benchmark, job.scheme, **job.kwargs)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker(payload: tuple[Job, Optional[float]]) -> tuple[str, object]:
+    """Pool entry point: never raises, always returns a tagged outcome."""
+    job, timeout = payload
+    try:
+        return "ok", _run_with_timeout(job, timeout)
+    except JobTimeoutError as exc:
+        return "timeout", str(exc)
+    except Exception:
+        return "error", traceback.format_exc()
+
+
+class ParallelRunner:
+    """Cache-aware batch executor for experiment jobs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` means ``os.cpu_count()``.  With
+        1 everything runs in the calling process.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable persistence.
+        An in-memory memo is always kept, so repeated identical jobs
+        within one runner never re-simulate even without a disk cache.
+    timeout:
+        Per-job wall-clock budget in seconds (``None`` = unbounded).
+    retries:
+        Extra attempts after a crash or timeout (default 1).  Retries
+        run *in the parent process*, so a poisoned worker pool cannot
+        take the retry down with it.
+    progress:
+        When true, a compact progress line is written to *stream*
+        (default ``sys.stderr``) as jobs complete.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        progress: bool = False,
+        stream=None,
+    ):
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        self.stats = RunnerStats()
+        self._memo: dict[str, SimulationResult] = {}
+
+    # -- single-job path (also the figures execution context) ------------
+
+    def run_one(self, benchmark, scheme, **kwargs) -> SimulationResult:
+        """Run one experiment in-process, through memo and disk cache."""
+        job = Job(benchmark, scheme, kwargs)
+        self.stats.jobs += 1
+        started = time.monotonic()
+        try:
+            key = job.key()
+            if key is None:
+                self.stats.uncacheable += 1
+            result = self._lookup(key)
+            if result is None:
+                result = self._execute_with_retry(job, key)
+        finally:
+            self.stats.elapsed += time.monotonic() - started
+        self.stats.completed += 1
+        return result
+
+    # -- batch path -------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> list[SimulationResult]:
+        """Run a batch of jobs, returning results in input order."""
+        jobs = list(jobs)
+        self.stats.jobs += len(jobs)
+        started = time.monotonic()
+        results: list[Optional[SimulationResult]] = [None] * len(jobs)
+        pending: list[tuple[int, Job, Optional[str]]] = []
+        scheduled: set[str] = set()
+        duplicates: list[tuple[int, str]] = []
+        try:
+            for index, job in enumerate(jobs):
+                key = job.key()
+                cached = self._lookup(key)
+                if cached is not None:
+                    results[index] = cached
+                    self.stats.completed += 1
+                    self._tick()
+                elif key is not None and key in scheduled:
+                    # Identical job already in this batch: simulate once,
+                    # fill the duplicate from the memo afterwards.
+                    duplicates.append((index, key))
+                else:
+                    if key is None:
+                        self.stats.uncacheable += 1
+                    else:
+                        scheduled.add(key)
+                    pending.append((index, job, key))
+
+            if pending:
+                if self.jobs <= 1 or len(pending) == 1:
+                    for index, job, key in pending:
+                        results[index] = self._execute_with_retry(job, key)
+                        self.stats.completed += 1
+                        self._tick()
+                else:
+                    self._run_pool(pending, results)
+            for index, key in duplicates:
+                results[index] = self._memo[key]
+                self.stats.cache_hits += 1
+                self.stats.completed += 1
+                self._tick()
+        finally:
+            self.stats.elapsed += time.monotonic() - started
+            self._finish_progress()
+        return results  # type: ignore[return-value]
+
+    def run_grid(
+        self,
+        benchmarks: Sequence[Union[str, WorkloadProfile]],
+        schemes: Sequence[Union[str, ICRConfig]],
+        **kwargs,
+    ) -> dict[tuple[str, str], SimulationResult]:
+        """Convenience: the full benchmark × scheme product, keyed by label."""
+        grid = [Job(b, s, dict(kwargs)) for b in benchmarks for s in schemes]
+        results = self.run(grid)
+        return {
+            (r.benchmark, r.scheme): r for r in results
+        }
+
+    # -- internals --------------------------------------------------------
+
+    def _lookup(self, key: Optional[str]) -> Optional[SimulationResult]:
+        if key is None:
+            return None
+        hit = self._memo.get(key)
+        if hit is None and self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._memo[key] = hit
+        if hit is not None:
+            self.stats.cache_hits += 1
+        return hit
+
+    def _store(self, key: Optional[str], result: SimulationResult) -> None:
+        if key is not None:
+            self._memo[key] = result
+            if self.cache is not None:
+                self.cache.put(key, result)
+
+    def _execute_with_retry(self, job: Job, key: Optional[str]) -> SimulationResult:
+        """In-process execution with the same retry budget as the pool."""
+        attempts = 1 + self.retries
+        last_error = "unknown"
+        for attempt in range(attempts):
+            if attempt:
+                self.stats.retries += 1
+            try:
+                result = _run_with_timeout(job, self.timeout)
+            except Exception:
+                last_error = traceback.format_exc()
+                continue
+            self.stats.simulated += 1
+            self._store(key, result)
+            return result
+        self.stats.failures += 1
+        raise RunnerError(job, last_error)
+
+    def _run_pool(
+        self,
+        pending: list[tuple[int, Job, Optional[str]]],
+        results: list[Optional[SimulationResult]],
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        needs_retry: list[tuple[int, Job, Optional[str], str]] = []
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_worker, (job, self.timeout)): (index, job, key)
+                    for index, job, key in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, job, key = futures[future]
+                        try:
+                            status, payload = future.result()
+                        except Exception as exc:  # worker died, pool broken, ...
+                            status, payload = "error", repr(exc)
+                        if status == "ok":
+                            self.stats.simulated += 1
+                            self.stats.completed += 1
+                            self._store(key, payload)
+                            results[index] = payload
+                            self._tick()
+                        else:
+                            needs_retry.append((index, job, key, str(payload)))
+        except Exception as exc:
+            # The pool itself failed (fork bomb limits, broken executor
+            # mid-shutdown, ...): salvage every unfinished job in-process.
+            needs_retry.extend(
+                (index, job, key, repr(exc))
+                for index, job, key in pending
+                if results[index] is None
+                and not any(index == i for i, *_ in needs_retry)
+            )
+        for index, job, key, error in needs_retry:
+            self.stats.retries += 1
+            try:
+                result = _run_with_timeout(job, self.timeout)
+            except Exception:
+                self.stats.failures += 1
+                raise RunnerError(
+                    job, f"pool attempt: {error}\nretry: {traceback.format_exc()}"
+                ) from None
+            self.stats.simulated += 1
+            self.stats.completed += 1
+            self._store(key, result)
+            results[index] = result
+            self._tick()
+
+    # -- progress ---------------------------------------------------------
+
+    def _tick(self) -> None:
+        if not self.progress:
+            return
+        s = self.stats
+        line = (
+            f"\r[runner] {s.completed}/{s.jobs} done · "
+            f"{s.cache_hits} cache hits · {s.simulated} simulated"
+        )
+        print(line, end="", file=self.stream, flush=True)
+
+    def _finish_progress(self) -> None:
+        if self.progress:
+            print(file=self.stream)

@@ -9,15 +9,15 @@ scheme subsets, machine variations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.harness.experiment import (
     DEFAULT_INSTRUCTIONS,
     MachineConfig,
     SimulationResult,
-    run_experiment,
 )
 from repro.harness.report import format_table
+from repro.harness.runner import Job, ParallelRunner
 
 
 @dataclass
@@ -26,6 +26,13 @@ class SweepResult:
 
     parameter: str
     results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[tuple[tuple[str, str], SimulationResult]]:
+        """Iterate ``((benchmark, label), result)`` pairs in insertion order."""
+        return iter(self.results.items())
 
     def metric(self, name: str) -> dict[tuple[str, str], float]:
         """Extract one metric (attribute name) across all points."""
@@ -39,6 +46,15 @@ class SweepResult:
         return format_table(columns, rows)
 
 
+def _resolve_runner(
+    runner: Optional[ParallelRunner], jobs: Optional[int]
+) -> ParallelRunner:
+    """The engine a sweep runs on: the caller's, or a plain serial one."""
+    if runner is not None:
+        return runner
+    return ParallelRunner(jobs=jobs or 1)
+
+
 def sweep(
     parameter: str,
     points: Iterable[tuple[str, dict]],
@@ -48,25 +64,42 @@ def sweep(
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     machine: Optional[MachineConfig] = None,
     base_kwargs: Optional[dict] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> SweepResult:
     """Run *scheme* on each benchmark at every sweep point.
 
     *points* is an iterable of ``(label, kwargs)`` pairs; each ``kwargs``
     dict is merged over *base_kwargs* and forwarded to
-    :func:`~repro.harness.experiment.run_experiment`.
+    :func:`~repro.harness.experiment.run_experiment`.  The whole grid is
+    executed through a :class:`~repro.harness.runner.ParallelRunner` —
+    pass *jobs* (worker count) or a preconfigured *runner* (e.g. with a
+    result cache attached); the default is serial, uncached, in-process.
     """
+    engine = _resolve_runner(runner, jobs)
+    points = list(points)
     out = SweepResult(parameter=parameter)
+    grid: list[tuple[tuple[str, str], Job]] = []
     for bench in benchmarks:
         for label, kwargs in points:
             merged: dict[str, Any] = dict(base_kwargs or {})
             merged.update(kwargs)
-            out.results[(bench, str(label))] = run_experiment(
-                bench,
-                scheme,
-                n_instructions=n_instructions,
-                machine=machine,
-                **merged,
+            grid.append(
+                (
+                    (bench, str(label)),
+                    Job(
+                        bench,
+                        scheme,
+                        dict(
+                            n_instructions=n_instructions,
+                            machine=machine,
+                            **merged,
+                        ),
+                    ),
+                )
             )
+    for (key, _), result in zip(grid, engine.run([job for _, job in grid])):
+        out.results[key] = result
     return out
 
 
@@ -87,14 +120,27 @@ def scheme_sweep(
     *,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     scheme_kwargs: Optional[Callable[[str], dict]] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
     **kwargs,
 ) -> SweepResult:
     """Run a set of schemes; sweep point label = scheme name."""
+    engine = _resolve_runner(runner, jobs)
     out = SweepResult(parameter="scheme")
+    grid: list[tuple[tuple[str, str], Job]] = []
     for bench in benchmarks:
         for scheme in schemes:
             extra = scheme_kwargs(scheme) if scheme_kwargs else {}
-            out.results[(bench, scheme)] = run_experiment(
-                bench, scheme, n_instructions=n_instructions, **extra, **kwargs
+            grid.append(
+                (
+                    (bench, scheme),
+                    Job(
+                        bench,
+                        scheme,
+                        dict(n_instructions=n_instructions, **extra, **kwargs),
+                    ),
+                )
             )
+    for (key, _), result in zip(grid, engine.run([job for _, job in grid])):
+        out.results[key] = result
     return out

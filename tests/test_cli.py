@@ -5,6 +5,12 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI tests out of the user's real ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+
+
 class TestList:
     def test_lists_everything(self, capsys):
         assert main(["list"]) == 0
@@ -74,3 +80,65 @@ class TestFigure:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestRunnerFlags:
+    """--jobs / --no-cache / --cache-dir on run, compare and figure."""
+
+    def test_jobs1_run_stays_in_process(self, capsys, monkeypatch):
+        import repro.harness.runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("pool used")),
+        )
+        code = main(
+            ["run", "gzip", "BaseP", "--instructions", "5000", "--jobs", "1"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "BaseP on gzip" in captured.out
+        assert "[runner]" in captured.err
+
+    def test_run_reports_metrics_on_stderr_only(self, capsys):
+        main(["run", "gzip", "BaseP", "--instructions", "5000", "--no-cache"])
+        captured = capsys.readouterr()
+        assert "[runner]" not in captured.out
+        assert "1 jobs" in captured.err
+
+    def test_figure_repeat_hits_cache_with_identical_stdout(
+        self, capsys, tmp_path
+    ):
+        argv = [
+            "figure", "fig10",
+            "--instructions", "5000",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "cache hits" in second.err
+        assert "0 simulated" in second.err
+
+    def test_no_cache_leaves_cache_dir_empty(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        main(
+            [
+                "run", "gzip", "BaseP",
+                "--instructions", "5000",
+                "--no-cache",
+                "--cache-dir", str(cache_dir),
+            ]
+        )
+        assert not cache_dir.exists()
+
+    def test_compare_parallel_matches_serial(self, capsys):
+        base = ["compare", "gzip", "--instructions", "5000", "--no-cache"]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -1,8 +1,10 @@
 """Tests for the generic sweep utilities."""
 
+from types import SimpleNamespace
+
 import pytest
 
-from repro.harness.sweeps import decay_window_sweep, scheme_sweep, sweep
+from repro.harness.sweeps import SweepResult, decay_window_sweep, scheme_sweep, sweep
 
 
 class TestSweep:
@@ -40,6 +42,56 @@ class TestSweep:
         )
         table = result.table(["miss_rate", "loads_with_replica"])
         assert "gzip" in table and "miss_rate" in table
+
+
+class TestSweepResultProtocol:
+    def _stub(self):
+        result = SweepResult(parameter="w")
+        result.results[("gzip", "0")] = SimpleNamespace(gain=-0.25, score=1.0)
+        result.results[("gzip", "1000")] = SimpleNamespace(
+            gain=float("nan"), score=12.5
+        )
+        return result
+
+    def test_len(self):
+        assert len(self._stub()) == 2
+        assert len(SweepResult(parameter="w")) == 0
+
+    def test_iter_yields_pairs_in_insertion_order(self):
+        pairs = list(self._stub())
+        assert [key for key, _ in pairs] == [("gzip", "0"), ("gzip", "1000")]
+        assert pairs[0][1].score == 1.0
+
+    def test_table_aligns_negative_and_nan(self):
+        table = self._stub().table(["gain", "score"])
+        lines = table.splitlines()
+        # Every line is the same width: negative signs and NaN cells
+        # must not shift the columns.
+        assert len({len(line) for line in lines}) == 1
+        # Numeric cells are right-justified within the "gain" column
+        # (width 6 from "-0.250"), so "nan" is padded on the left.
+        assert "-0.250" in table
+        assert "   nan" in table
+        assert " 1.000" in table and "12.500" in table
+
+
+class TestSweepParallel:
+    def test_parallel_sweep_matches_serial(self):
+        points = [("0", {"decay_window": 0}), ("1000", {"decay_window": 1000})]
+        serial = sweep("w", points, ["gzip"], n_instructions=5_000)
+        parallel = sweep("w", points, ["gzip"], n_instructions=5_000, jobs=2)
+        assert serial.results == parallel.results
+
+    def test_sweep_accepts_injected_runner(self):
+        from repro.harness.runner import ParallelRunner
+
+        runner = ParallelRunner(jobs=1)
+        result = sweep(
+            "w", [("0", {"decay_window": 0})], ["gzip"],
+            n_instructions=5_000, runner=runner,
+        )
+        assert len(result) == 1
+        assert runner.stats.simulated == 1
 
 
 class TestDecayWindowSweep:
