@@ -13,6 +13,7 @@ from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
 from repro.coding.hamming import decode, encode
 from repro.core.schemes import make_cache
 from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.harness.runner import Job, ParallelRunner
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.spec2000 import profile_for
 
@@ -70,3 +71,24 @@ def test_pipeline_throughput(benchmark):
 def test_trace_generation_throughput(benchmark):
     generator = WorkloadGenerator(profile_for("gcc"))
     benchmark(lambda: generator.generate(30_000))
+
+
+def test_end_to_end_sims_per_sec(benchmark):
+    """End-to-end runner throughput (jobs=1, result cache disabled).
+
+    This is the number the acceptance bar in BENCH_simulator.json tracks:
+    whole simulations per second through the serial in-process path —
+    trace lookup, pipeline, hierarchy and stats extraction included.
+    """
+    grid = [
+        Job(bench, scheme, dict(n_instructions=30_000))
+        for bench in ("gzip", "mcf")
+        for scheme in ("BaseP", "ICR-P-PS(S)")
+    ]
+
+    def run():
+        runner = ParallelRunner(jobs=1, cache=None)
+        runner.run(grid)
+        return runner.stats.sims_per_sec
+
+    benchmark(run)

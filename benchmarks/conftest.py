@@ -19,6 +19,11 @@ The suite runs on the parallel execution engine
     (``REPRO_CACHE_DIR`` or ``~/.cache/repro``); re-running the suite
     after an interrupted run then only simulates the missing figures.
     Off by default so benchmark timings stay honest.
+``REPRO_PERF_SMOKE``
+    Set to ``1`` by the CI perf-smoke job: forces serial in-process
+    execution with no result cache, overriding the two knobs above, so
+    the recorded throughput numbers measure the simulator and nothing
+    else.
 """
 
 import os
@@ -41,6 +46,9 @@ BENCH_INSTRUCTIONS = 60_000
 
 def _engine_from_env():
     """The session's ParallelRunner, or None for plain serial execution."""
+    if os.environ.get("REPRO_PERF_SMOKE", "") == "1":
+        # Perf-smoke runs time the simulator itself: serial, uncached.
+        return None
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
     cache_on = os.environ.get("REPRO_BENCH_CACHE", "") == "1"
     if jobs <= 1 and not cache_on:

@@ -39,9 +39,17 @@ class CacheBlock:
         "protection",
         "words",
         "golden",
+        "set_index",
+        "way",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, set_index: int = -1, way: int = -1) -> None:
+        # Frame coordinates: where this line physically lives.  Blocks never
+        # move between frames, so these are fixed for the cache's lifetime
+        # (invalidate() must not reset them) and make way lookups O(1).
+        self.set_index = set_index
+        self.way = way
+        self.replica_refs: list["CacheBlock"] = []
         self.invalidate()
         self.lru_stamp = 0
 
@@ -52,7 +60,8 @@ class CacheBlock:
         self.dirty: bool = False
         self.is_replica: bool = False
         self.last_access_cycle: int = 0
-        self.replica_refs: list["CacheBlock"] = []
+        if self.replica_refs:
+            self.replica_refs = []
         self.primary_ref: Optional["CacheBlock"] = None
         self.protection: ProtectionKind = ProtectionKind.PARITY
         self.words: Optional[list[ProtectedWord]] = None
@@ -72,7 +81,8 @@ class CacheBlock:
         self.dirty = dirty
         self.is_replica = is_replica
         self.last_access_cycle = now
-        self.replica_refs = []
+        if self.replica_refs:
+            self.replica_refs = []
         self.primary_ref = None
         self.words = None
         self.golden = None

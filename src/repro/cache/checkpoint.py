@@ -106,3 +106,6 @@ def restore_checkpoint(cache: SetAssociativeCache, checkpoint: CacheCheckpoint) 
             block.replica_refs.append(cache.sets[rs][rw])
     # Keep future touches ahead of restored stamps.
     cache._lru_clock = max(cache._lru_clock, max_stamp)
+    # The bulk fills above bypassed the cache's fill paths; resync the
+    # O(1) tag/replica indexes with the restored arrays.
+    cache.rebuild_tag_index()

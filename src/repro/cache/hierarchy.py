@@ -98,13 +98,18 @@ class MemoryHierarchy:
         self._now = 0
         dl1.set_evict_hook(self._dl1_evicted)
         self.l2.on_evict = self._l2_evicted
+        # Hoisted constants for the per-instruction fetch/load/store paths.
+        self._fetch_shift = self.l1i.geometry.block_offset_bits
+        self._l1i_latency = self.config.l1i_latency
+        self._model_icache = self.config.model_icache
+        self._dl1_block_shift = self.dl1.geometry.block_offset_bits
 
     # -- inter-level traffic ------------------------------------------------
 
     def _dl1_evicted(self, eviction: Eviction) -> None:
         """Dirty dL1 victims are written back into L2."""
         if eviction.dirty:
-            block_byte_addr = eviction.block_addr << self.dl1.geometry.block_offset_bits
+            block_byte_addr = eviction.block_addr << self._dl1_block_shift
             hit = self.l2.access(block_byte_addr, True, self._now)
             if not hit:
                 self.stats.memory_accesses += 1
@@ -148,7 +153,7 @@ class MemoryHierarchy:
             # Write-allocate: bring the line in (off the critical path).
             self._l2_fetch(addr, now)
         if self.dl1.write_policy == "writethrough":
-            block_addr = self.dl1.geometry.block_addr(addr)
+            block_addr = addr >> self._dl1_block_shift
             stall = self.write_buffer.push(block_addr, now)
             self.stats.write_buffer_stall_cycles += stall
             self.stats.l2_store_writes += 1
@@ -159,19 +164,20 @@ class MemoryHierarchy:
 
     def fetch(self, pc: int, now: int) -> int:
         """An instruction fetch; charged once per new 32-byte fetch block."""
-        if not self.config.model_icache:
-            return self.config.l1i_latency
-        block = self.l1i.geometry.block_addr(pc)
+        latency = self._l1i_latency
+        if not self._model_icache:
+            return latency
+        block = pc >> self._fetch_shift
         if block == self._last_fetch_block:
-            return self.config.l1i_latency
+            return latency
         self._last_fetch_block = block
         outcome = self.l1i.access(pc, False, now)
-        if isinstance(outcome, bool):  # plain iL1
-            if outcome:
-                return self.config.l1i_latency
-            return self.config.l1i_latency + self._l2_fetch(pc, now)
+        if outcome is True:  # plain iL1 hit
+            return latency
+        if outcome is False:  # plain iL1 miss
+            return latency + self._l2_fetch(pc, now)
         # Protected iL1 (DL1Outcome): hit latency includes any parity
         # recovery; a miss goes to L2.
         if outcome.latency is not None:
-            return self.config.l1i_latency + outcome.latency - 1
-        return self.config.l1i_latency + self._l2_fetch(pc, now)
+            return latency + outcome.latency - 1
+        return latency + self._l2_fetch(pc, now)

@@ -23,6 +23,9 @@ from repro.cache.block import CacheBlock
 
 class ReplacementPolicy(Protocol):
     name: str
+    #: Whether on_touch carries state.  Policies that ignore touches keep
+    #: the default False so the cache's hot path can skip the call.
+    tracks_touches: bool
 
     def victim_way(self, set_index: int, ways: Sequence[CacheBlock]) -> int: ...
 
@@ -40,12 +43,21 @@ class TrueLRU:
     """Stamp-based exact LRU (stamps are maintained by the cache)."""
 
     name = "lru"
+    tracks_touches = False
 
     def victim_way(self, set_index: int, ways: Sequence[CacheBlock]) -> int:
-        invalid = _first_invalid(ways)
-        if invalid is not None:
-            return invalid
-        return min(range(len(ways)), key=lambda w: ways[w].lru_stamp)
+        # Single pass: the first invalid way wins outright, otherwise the
+        # lowest-stamp way (first one on ties, matching min()).
+        best = 0
+        best_stamp = None
+        for way, block in enumerate(ways):
+            if not block.valid:
+                return way
+            stamp = block.lru_stamp
+            if best_stamp is None or stamp < best_stamp:
+                best_stamp = stamp
+                best = way
+        return best
 
     def on_touch(self, set_index: int, way: int) -> None:
         pass  # stamps carry the state
@@ -55,6 +67,7 @@ class FIFO:
     """Evict in fill order; hits do not refresh a line's position."""
 
     name = "fifo"
+    tracks_touches = False
 
     def __init__(self) -> None:
         self._fill_stamp: dict[tuple[int, int], int] = {}
@@ -81,6 +94,7 @@ class RandomReplacement:
     """Deterministic pseudo-random victim (64-bit LCG)."""
 
     name = "random"
+    tracks_touches = False
 
     def __init__(self, seed: int = 0x5DEECE66D) -> None:
         self._state = seed & ((1 << 64) - 1)
@@ -111,6 +125,7 @@ class TreePLRU:
     """
 
     name = "plru"
+    tracks_touches = True
 
     def __init__(self, n_ways: int) -> None:
         if n_ways <= 0 or n_ways & (n_ways - 1):

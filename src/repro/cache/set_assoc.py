@@ -86,8 +86,8 @@ class SetAssociativeCache:
         self.name = name
         self.stats = CacheStats()
         self.sets: list[list[CacheBlock]] = [
-            [CacheBlock() for _ in range(geometry.associativity)]
-            for _ in range(geometry.n_sets)
+            [CacheBlock(set_index, way) for way in range(geometry.associativity)]
+            for set_index in range(geometry.n_sets)
         ]
         self.replacement = make_replacement_policy(
             replacement, geometry.associativity
@@ -96,31 +96,58 @@ class SetAssociativeCache:
         # Optional callback invoked with each Eviction (hierarchies hook
         # this to route writebacks to the next level).
         self.on_evict: Optional[Callable[[Eviction], None]] = None
+        # Hoisted geometry (n_sets is a power of two, so indexing is a mask).
+        self._set_mask = geometry.n_sets - 1
+        self._block_shift = geometry.block_offset_bits
+        # O(1) tag lookup: block_addr -> resident *primary* block.  Updated
+        # on fill/evict; probe() re-validates entries so code that mutates
+        # blocks directly (checkpoint restore) only needs rebuild_tag_index.
+        self._tag_index: dict[int, CacheBlock] = {}
+        self._touch_tracked = self.replacement.tracks_touches
 
     # -- primitives --------------------------------------------------------
 
     def probe(self, block_addr: int) -> Optional[CacheBlock]:
         """Find the primary copy of *block_addr*, without side effects."""
-        set_index = self.geometry.set_index(block_addr)
         self.stats.tag_probes += 1
-        for block in self.sets[set_index]:
-            if block.valid and not block.is_replica and block.block_addr == block_addr:
-                return block
+        block = self._tag_index.get(block_addr)
+        if (
+            block is not None
+            and block.valid
+            and not block.is_replica
+            and block.block_addr == block_addr
+        ):
+            return block
         return None
+
+    def index_fill(self, block: CacheBlock) -> None:
+        """Register a just-filled primary with the tag index."""
+        self._tag_index[block.block_addr] = block
+
+    def index_drop(self, block: CacheBlock) -> None:
+        """Remove *block*'s tag-index entry (before invalidation/refill)."""
+        if self._tag_index.get(block.block_addr) is block:
+            del self._tag_index[block.block_addr]
+
+    def rebuild_tag_index(self) -> None:
+        """Recompute the tag index from the arrays (after a bulk restore)."""
+        self._tag_index = {
+            block.block_addr: block
+            for _, _, block in self.iter_valid_blocks()
+            if not block.is_replica
+        }
 
     def touch_lru(self, block: CacheBlock) -> None:
         """Record a use of *block* with the replacement policy."""
         self._lru_clock += 1
         block.lru_stamp = self._lru_clock
-        set_index = self.geometry.set_index(block.block_addr)
-        ways = self.sets[set_index]
-        try:
-            way = ways.index(block)
-        except ValueError:
+        if not self._touch_tracked:
+            return
+        if block.is_replica and block.set_index != (block.block_addr & self._set_mask):
             # ICR replicas live at distance-k from their home set; stateful
             # policies (PLRU) track primaries only.
             return
-        self.replacement.on_touch(set_index, way)
+        self.replacement.on_touch(block.set_index, block.way)
 
     def lru_victim(self, set_index: int) -> CacheBlock:
         """The line normal placement would evict: invalid first, then the
@@ -134,17 +161,26 @@ class SetAssociativeCache:
         return ways[self.replacement.victim_way(set_index, ways)]
 
     def evict(self, block: CacheBlock) -> Optional[Eviction]:
-        """Invalidate *block*, reporting any writeback obligation."""
+        """Invalidate *block*, reporting any writeback obligation.
+
+        Returns the :class:`Eviction` record, or ``None`` when there is
+        nothing to report: the block was already invalid, or it was clean
+        and no :attr:`on_evict` hook is installed (the L2/iL1 hot loop —
+        allocating a record nobody reads is wasted work).
+        """
         if not block.valid:
             return None
-        eviction = Eviction(
-            block_addr=block.block_addr,
-            dirty=block.dirty and not block.is_replica,
-            was_replica=block.is_replica,
-        )
+        was_replica = block.is_replica
+        block_addr = block.block_addr
+        dirty = block.dirty and not was_replica
+        if not was_replica and self._tag_index.get(block_addr) is block:
+            del self._tag_index[block_addr]
         block.invalidate()
-        if eviction.dirty:
+        if dirty:
             self.stats.writebacks += 1
+        elif self.on_evict is None:
+            return None
+        eviction = Eviction(block_addr=block_addr, dirty=dirty, was_replica=was_replica)
         if self.on_evict is not None:
             self.on_evict(eviction)
         return eviction
@@ -153,7 +189,9 @@ class SetAssociativeCache:
         return self.sets[set_index][way]
 
     def way_of(self, set_index: int, block: CacheBlock) -> int:
-        return self.sets[set_index].index(block)
+        if block.set_index == set_index:
+            return block.way
+        raise ValueError(f"block does not live in set {set_index}")
 
     def iter_valid_blocks(self) -> Iterator[tuple[int, int, CacheBlock]]:
         """Yield ``(set_index, way, block)`` for every valid line."""
@@ -168,35 +206,49 @@ class SetAssociativeCache:
         """One demand access; returns ``True`` on hit.
 
         Misses allocate (write-allocate) and evict via LRU; the evicted
-        line is reported through :attr:`on_evict`.
+        line is reported through :attr:`on_evict`.  The hit path is
+        written flat — indexed tag lookup, hoisted locals, inlined
+        touch — because this is the L2/iL1 inner loop.
         """
-        block_addr = self.geometry.block_addr(addr)
-        block = self.probe(block_addr)
+        stats = self.stats
+        block_addr = addr >> self._block_shift
+        stats.tag_probes += 1
+        block = self._tag_index.get(block_addr)
         if is_write:
-            self.stats.stores += 1
+            stats.stores += 1
         else:
-            self.stats.loads += 1
-        if block is not None:
+            stats.loads += 1
+        if (
+            block is not None
+            and block.valid
+            and not block.is_replica
+            and block.block_addr == block_addr
+        ):
             if is_write:
-                self.stats.store_hits += 1
-                self.stats.array_writes += 1
+                stats.store_hits += 1
+                stats.array_writes += 1
                 block.dirty = True
             else:
-                self.stats.load_hits += 1
-                self.stats.array_reads += 1
-            block.touch(now)
-            self.touch_lru(block)
+                stats.load_hits += 1
+                stats.array_reads += 1
+            if now > block.last_access_cycle:
+                block.last_access_cycle = now
+            self._lru_clock += 1
+            block.lru_stamp = self._lru_clock
+            if self._touch_tracked:
+                self.replacement.on_touch(block.set_index, block.way)
             return True
         # Miss path.
         if is_write:
-            self.stats.store_misses += 1
+            stats.store_misses += 1
         else:
-            self.stats.load_misses += 1
-        set_index = self.geometry.set_index(block_addr)
+            stats.load_misses += 1
+        set_index = block_addr & self._set_mask
         victim = self.lru_victim(set_index)
         self.evict(victim)
         victim.fill(block_addr, now, dirty=is_write)
-        self.stats.array_writes += 1
+        self._tag_index[block_addr] = victim
+        stats.array_writes += 1
         self.touch_lru(victim)
         return False
 

@@ -92,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="random",
     )
     run.add_argument("--vulnerability", action="store_true")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulation with cProfile; top-20 cumulative "
+        "entries go to stderr (results are unaffected)",
+    )
     _add_runner_flags(run)
 
     compare = sub.add_parser("compare", help="run all ten schemes on a benchmark")
@@ -129,15 +135,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.leave_replicas:
         kwargs["leave_replicas_on_evict"] = True
     runner = _make_runner(args)
-    result = runner.run_one(
-        args.benchmark,
-        args.scheme,
-        n_instructions=args.instructions,
-        error_rate=args.error_rate,
-        error_model=args.error_model,
-        measure_vulnerability=args.vulnerability,
-        **kwargs,
-    )
+
+    def _simulate():
+        return runner.run_one(
+            args.benchmark,
+            args.scheme,
+            n_instructions=args.instructions,
+            error_rate=args.error_rate,
+            error_model=args.error_model,
+            measure_vulnerability=args.vulnerability,
+            **kwargs,
+        )
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(_simulate)
+        pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+            "cumulative"
+        ).print_stats(20)
+    else:
+        result = _simulate()
     print(f"{result.scheme} on {result.benchmark} ({result.instructions:,} instr)")
     print(f"  cycles            : {result.cycles:,} (CPI {result.cpi:.3f})")
     print(f"  dL1 miss rate     : {percent(result.miss_rate)}")

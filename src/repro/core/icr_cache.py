@@ -80,6 +80,61 @@ class ICRCache(SetAssociativeCache):
         # golden contents of every block the program has touched.
         self._memory_image: dict[int, list[int]] = {}
         self._store_seq = 0
+        # -- hot-path support ---------------------------------------------
+        # O(1) replica lookup: block_addr -> replicas of that block.
+        # Entries are validated (and pruned) on read, so direct replica
+        # invalidation in _sever_links needs no eager bookkeeping.
+        self._replica_index: dict[int, list[CacheBlock]] = {}
+        # Position of each legal replica distance in the _probe_replica walk
+        # order — lets the indexed lookup reproduce the walk's tag_probes
+        # accounting and tie-breaking exactly.
+        self._distance_pos: dict[int, int] = {
+            d: i for i, d in enumerate(self._all_distances)
+        }
+        # Hoisted per-access constants: every config decision that is fixed
+        # for the cache's lifetime is resolved once here so the demand paths
+        # never chase config attribute chains or enum properties.
+        self._word_mask = self.words_per_block - 1
+        self._lat_hit_replicated = config.load_hit_latency(replicated=True)
+        self._lat_hit_unreplicated = config.load_hit_latency(replicated=False)
+        self._writeback = config.write_policy == "writeback"
+        self._prot_unrep = config.protection_for(replicated=False)
+        self._prot_rep = config.protection_for(replicated=True)
+        self._unrep_is_parity = self._prot_unrep is ProtectionKind.PARITY
+        self._track_data = config.track_data
+        self._trig_store = config.trigger.on_store
+        self._trig_fill = config.trigger.on_fill
+        self._leave_replicas = config.leave_replicas_on_evict
+        self._replicates = config.replicates
+        self._hints = config.hints
+        self._parallel_lookup = config.lookup is LookupMode.PARALLEL
+        self._victim_policy = config.victim_policy
+        self._allow_invalid_victims = config.replicate_into_invalid
+        # Outcomes are frozen dataclasses, so the constant-latency ones can
+        # be allocated once and shared across accesses.
+        self._out_store_hit = DL1Outcome(hit=True, latency=1)
+        self._out_load_hit_rep = DL1Outcome(
+            hit=True, latency=self._lat_hit_replicated
+        )
+        self._out_load_hit_unrep = DL1Outcome(
+            hit=True, latency=self._lat_hit_unreplicated
+        )
+        self._out_replica_fill_store = DL1Outcome(
+            hit=False, latency=1, replica_fill=True
+        )
+        self._out_replica_fill_load = DL1Outcome(
+            hit=False, latency=2, replica_fill=True
+        )
+        self._out_miss = DL1Outcome(hit=False, latency=None)
+        # Fast-path applicability: no bit-accurate storage, no replication
+        # trigger (BaseP/BaseECC) and no software hints.  Attached observers
+        # (injector/scrubber/monitor) are re-checked per access since they
+        # arrive by plain attribute assignment.
+        self._fast_demand = (
+            not config.track_data
+            and config.trigger is ReplicationTrigger.NONE
+            and config.hints is None
+        )
 
     # ------------------------------------------------------------------
     # hierarchy protocol
@@ -92,6 +147,31 @@ class ICRCache(SetAssociativeCache):
     # ------------------------------------------------------------------
     # linking / unlinking of primaries and replicas
     # ------------------------------------------------------------------
+
+    def _index_replica(self, replica: CacheBlock) -> None:
+        """Register a just-installed replica, pruning stale entries."""
+        entries = self._replica_index.get(replica.block_addr)
+        if entries is None:
+            self._replica_index[replica.block_addr] = [replica]
+            return
+        entries[:] = [
+            b
+            for b in entries
+            if b.valid and b.is_replica and b.block_addr == replica.block_addr
+        ]
+        entries.append(replica)
+
+    def rebuild_tag_index(self) -> None:
+        """Recompute primary *and* replica indexes (after a bulk restore)."""
+        super().rebuild_tag_index()
+        self._replica_index = {}
+        for _, _, block in self.iter_valid_blocks():
+            if block.is_replica:
+                self._replica_index.setdefault(block.block_addr, []).append(block)
+        if self._replica_index and not self.config.replicates:
+            # A foreign checkpoint parked replicas in a non-replicating
+            # cache; the fast path's no-replica premise no longer holds.
+            self._fast_demand = False
 
     def _sever_links(self, block: CacheBlock) -> None:
         """Detach *block* from its partners before it is reused."""
@@ -119,7 +199,7 @@ class ICRCache(SetAssociativeCache):
 
     def _on_lost_last_replica(self, primary: CacheBlock) -> None:
         """Restore the unreplicated protection once all replicas are gone."""
-        kind = self.config.protection_for(replicated=False)
+        kind = self._prot_unrep
         if primary.protection is not kind:
             primary.reprotect(kind)
             self._count_generate(kind)
@@ -128,14 +208,29 @@ class ICRCache(SetAssociativeCache):
         """Evict with link maintenance (overrides the base primitive)."""
         if not block.valid:
             return None
-        if block.dirty and not block.is_replica and self.config.track_data:
+        if self._track_data and block.dirty and not block.is_replica:
             # A dirty eviction publishes the line's golden contents to the
             # lower levels, which we model as error-free.
             self._memory_image[block.block_addr] = list(
                 block.golden or self._golden_words(block.block_addr)
             )
         self._sever_links(block)
-        return super().evict(block)
+        # Base eviction, inlined: every demand miss and replica placement
+        # funnels through here, so the extra dispatch is worth removing.
+        was_replica = block.is_replica
+        block_addr = block.block_addr
+        dirty = block.dirty and not was_replica
+        if not was_replica and self._tag_index.get(block_addr) is block:
+            del self._tag_index[block_addr]
+        block.invalidate()
+        if dirty:
+            self.stats.writebacks += 1
+        elif self.on_evict is None:
+            return None
+        eviction = Eviction(block_addr=block_addr, dirty=dirty, was_replica=was_replica)
+        if self.on_evict is not None:
+            self.on_evict(eviction)
+        return eviction
 
     # ------------------------------------------------------------------
     # bit-accurate storage helpers
@@ -186,93 +281,238 @@ class ICRCache(SetAssociativeCache):
 
     def access(self, addr: int, is_write: bool, now: int) -> DL1Outcome:
         """One demand access from the pipeline; see module docstring."""
+        if (
+            self._fast_demand
+            and self.injector is None
+            and self.scrubber is None
+            and self.monitor is None
+        ):
+            return self._fast_access(addr, is_write, now)
         if self.injector is not None:
             self.injector.advance(now)
         if self.scrubber is not None:
             self.scrubber.advance(now)
         if self.monitor is not None:
             self.monitor.observe(now)
-        block_addr = self.geometry.block_addr(addr)
-        word_index = self.geometry.word_index(addr)
+        stats = self.stats
+        block_addr = addr >> self._block_shift
+        word_index = (addr >> 3) & self._word_mask
         if is_write:
-            self.stats.stores += 1
+            stats.stores += 1
         else:
-            self.stats.loads += 1
+            stats.loads += 1
 
-        primary = self.probe(block_addr)
-        if primary is not None:
+        # Inlined probe() — the per-access primary lookup.
+        stats.tag_probes += 1
+        primary = self._tag_index.get(block_addr)
+        if (
+            primary is not None
+            and primary.valid
+            and not primary.is_replica
+            and primary.block_addr == block_addr
+        ):
             return self._hit(primary, word_index, is_write, now)
 
         # Primary miss.  With leave-in-place replicas a leftover replica
         # may still hold the line (Section 5.6).
-        if self.config.leave_replicas_on_evict:
+        if self._leave_replicas:
             replica = self._probe_replica(block_addr)
             if replica is not None:
                 return self._fill_from_replica(replica, word_index, is_write, now)
         return self._miss(block_addr, word_index, is_write, now)
+
+    def _fast_access(self, addr: int, is_write: bool, now: int) -> DL1Outcome:
+        """Streamlined demand path for non-replicating, data-free schemes.
+
+        Taken when the scheme's trigger is NONE (BaseP/BaseECC), no bit
+        storage is materialized and no observer is attached — then no
+        replica can exist and every protection/latency decision is a
+        per-cache constant, so the whole replication/verification
+        machinery of the full path reduces to plain hit/miss accounting.
+        Event counts and outcomes are bit-identical to the full path.
+        """
+        stats = self.stats
+        block_addr = addr >> self._block_shift
+        if is_write:
+            stats.stores += 1
+        else:
+            stats.loads += 1
+        stats.tag_probes += 1
+        block = self._tag_index.get(block_addr)
+        if (
+            block is not None
+            and block.valid
+            and not block.is_replica
+            and block.block_addr == block_addr
+        ):
+            if now > block.last_access_cycle:
+                block.last_access_cycle = now
+            self._lru_clock += 1
+            block.lru_stamp = self._lru_clock
+            if self._touch_tracked:
+                self.replacement.on_touch(block.set_index, block.way)
+            if is_write:
+                stats.store_hits += 1
+                stats.array_writes += 1
+                if self._writeback:
+                    block.dirty = True
+                if self._unrep_is_parity:
+                    stats.parity_generates += 1
+                else:
+                    stats.ecc_generates += 1
+                return self._out_store_hit
+            stats.load_hits += 1
+            stats.array_reads += 1
+            if self._unrep_is_parity:
+                stats.parity_checks += 1
+            else:
+                stats.ecc_checks += 1
+            return self._out_load_hit_unrep
+        # Miss: plain LRU allocate; no replica can serve it.
+        if is_write:
+            stats.store_misses += 1
+        else:
+            stats.load_misses += 1
+        victim = self.lru_victim(block_addr & self._set_mask)
+        SetAssociativeCache.evict(self, victim)
+        victim.fill(block_addr, now, dirty=False)
+        self._tag_index[block_addr] = victim
+        victim.protection = self._prot_unrep
+        stats.array_writes += 1
+        if self._unrep_is_parity:
+            stats.parity_generates += 1
+        else:
+            stats.ecc_generates += 1
+        self._lru_clock += 1
+        victim.lru_stamp = self._lru_clock
+        if self._touch_tracked:
+            self.replacement.on_touch(victim.set_index, victim.way)
+        if is_write:
+            if self._writeback:
+                victim.dirty = True
+            stats.array_writes += 1
+            if self._unrep_is_parity:
+                stats.parity_generates += 1
+            else:
+                stats.ecc_generates += 1
+        return self._out_miss
 
     # -- hit path ----------------------------------------------------------
 
     def _hit(
         self, primary: CacheBlock, word_index: int, is_write: bool, now: int
     ) -> DL1Outcome:
-        primary.touch(now)
-        self.touch_lru(primary)
-        replicated = primary.has_replica
+        stats = self.stats
+        if now > primary.last_access_cycle:
+            primary.last_access_cycle = now
+        self._lru_clock += 1
+        primary.lru_stamp = self._lru_clock
+        if self._touch_tracked:
+            self.replacement.on_touch(primary.set_index, primary.way)
+        replicated = bool(primary.replica_refs)
         if is_write:
-            self.stats.store_hits += 1
-            self.stats.array_writes += 1
-            if self.write_policy == "writeback":
+            stats.store_hits += 1
+            stats.array_writes += 1
+            if self._writeback:
                 primary.dirty = True
-            self._count_generate(primary.protection)
-            if self.config.track_data and primary.words is not None:
+            if primary.protection is ProtectionKind.PARITY:
+                stats.parity_generates += 1
+            else:
+                stats.ecc_generates += 1
+            if self._track_data and primary.words is not None:
                 value = self._next_store_value()
                 primary.write_word(word_index, value)
-                if self.write_policy == "writethrough":
+                if not self._writeback:
                     self._memory_image[primary.block_addr][word_index] = value
             if replicated:
                 self._update_replicas(primary, word_index, now)
-            elif self.config.trigger.on_store:
+            elif self._trig_store:
                 self._attempt_replication(primary, now)
-            return DL1Outcome(hit=True, latency=1)
+            return self._out_store_hit
 
         # Load hit.
-        self.stats.load_hits += 1
-        self.stats.array_reads += 1
+        stats.load_hits += 1
+        stats.array_reads += 1
+        if primary.protection is ProtectionKind.PARITY:
+            stats.parity_checks += 1
+        else:
+            stats.ecc_checks += 1
         if replicated:
-            self.stats.load_hits_with_replica += 1
-        latency = self.config.load_hit_latency(replicated)
-        self._count_check(primary.protection)
-        if self.config.lookup is LookupMode.PARALLEL and replicated:
-            # PP: primary and replica are read and compared together.
-            self.stats.array_reads += 1
-            self._count_check(ProtectionKind.PARITY)
-        if self.config.track_data and primary.words is not None:
-            latency += self._verified_load(primary, word_index, now)
-        return DL1Outcome(hit=True, latency=latency)
+            stats.load_hits_with_replica += 1
+            if self._parallel_lookup:
+                # PP: primary and replica are read and compared together.
+                stats.array_reads += 1
+                stats.parity_checks += 1
+            if self._track_data and primary.words is not None:
+                latency = self._lat_hit_replicated + self._verified_load(
+                    primary, word_index, now
+                )
+                return DL1Outcome(hit=True, latency=latency)
+            return self._out_load_hit_rep
+        if self._track_data and primary.words is not None:
+            latency = self._lat_hit_unreplicated + self._verified_load(
+                primary, word_index, now
+            )
+            return DL1Outcome(hit=True, latency=latency)
+        return self._out_load_hit_unrep
 
     def _update_replicas(self, primary: CacheBlock, word_index: int, now: int) -> None:
         """Propagate a store to every replica, keeping them exact copies."""
+        stats = self.stats
         for replica in primary.replica_refs:
-            self.stats.array_writes += 1
-            self.stats.replica_updates += 1
-            self._count_generate(ProtectionKind.PARITY)
-            replica.touch(now)
+            stats.array_writes += 1
+            stats.replica_updates += 1
+            stats.parity_generates += 1
+            if now > replica.last_access_cycle:
+                replica.last_access_cycle = now
             self.touch_lru(replica)
-            if self.config.track_data and replica.words is not None:
+            if self._track_data and replica.words is not None:
                 replica.write_word(word_index, primary.golden[word_index])
 
     # -- miss paths ----------------------------------------------------------
 
     def _probe_replica(self, block_addr: int) -> Optional[CacheBlock]:
-        """Find a (possibly orphaned) replica of *block_addr*."""
-        home = self.geometry.set_index(block_addr)
-        for distance in self._all_distances:
-            self.stats.tag_probes += 1
-            for block in self.sets[(home + distance) % self.geometry.n_sets]:
-                if block.valid and block.is_replica and block.block_addr == block_addr:
-                    return block
-        return None
+        """Find a (possibly orphaned) replica of *block_addr*.
+
+        O(1) via the replica index.  Selection and ``tag_probes``
+        accounting replicate the hardware walk over the candidate
+        distances exactly: the winner is the replica at the earliest
+        distance in ``_all_distances`` (lowest way breaking ties), and one
+        probe is charged per candidate set visited up to and including the
+        hit — or all of them on a miss.
+        """
+        candidates = self._replica_index.get(block_addr)
+        best = None
+        best_key = None
+        if candidates:
+            live = [
+                b
+                for b in candidates
+                if b.valid and b.is_replica and b.block_addr == block_addr
+            ]
+            if len(live) != len(candidates):
+                if live:
+                    self._replica_index[block_addr] = live
+                else:
+                    del self._replica_index[block_addr]
+            if live:
+                home = block_addr & self._set_mask
+                n_sets = self._set_mask + 1
+                for block in live:
+                    pos = self._distance_pos.get(
+                        (block.set_index - home) % n_sets
+                    )
+                    if pos is None:
+                        continue  # parked at a distance this walk never visits
+                    key = (pos, block.way)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = block
+        if best is None:
+            self.stats.tag_probes += len(self._all_distances)
+            return None
+        self.stats.tag_probes += best_key[0] + 1
+        return best
 
     def _fill_from_replica(
         self, replica: CacheBlock, word_index: int, is_write: bool, now: int
@@ -285,7 +525,7 @@ class ICRCache(SetAssociativeCache):
             self.stats.load_misses += 1
         self.stats.replica_fills += 1
         self.stats.array_reads += 1  # read the replica
-        home = self.geometry.set_index(block_addr)
+        home = block_addr & self._set_mask
         victim = self.lru_victim(home)
         if victim is replica:
             # Degenerate distance-0 case: the replica occupies the LRU way
@@ -293,17 +533,19 @@ class ICRCache(SetAssociativeCache):
             replica.is_replica = False
             replica.primary_ref = None
             primary = replica
-            primary.protection = self.config.protection_for(replicated=False)
-            if self.config.track_data and primary.words is not None:
+            self._tag_index[block_addr] = primary
+            primary.protection = self._prot_unrep
+            if self._track_data and primary.words is not None:
                 primary.reprotect(primary.protection)
         else:
             self.evict(victim)
             victim.fill(block_addr, now)
+            self._tag_index[block_addr] = victim
             primary = victim
-            primary.protection = self.config.protection_for(replicated=True)
-            if self.config.track_data and replica.words is not None:
+            primary.protection = self._prot_rep
+            if self._track_data and replica.words is not None:
                 primary.materialize_words(
-                    self.config.protection_for(replicated=True),
+                    self._prot_rep,
                     [w.raw_data for w in replica.words],
                 )
                 primary.golden = list(replica.golden)
@@ -311,69 +553,80 @@ class ICRCache(SetAssociativeCache):
             primary.replica_refs = [replica]
             replica.primary_ref = primary
         self.stats.array_writes += 1
-        self._count_generate(self.config.protection_for(primary.has_replica))
+        self._count_generate(
+            self._prot_rep if primary.replica_refs else self._prot_unrep
+        )
         self.touch_lru(primary)
         primary.touch(now)
         if is_write:
-            if self.write_policy == "writeback":
+            if self._writeback:
                 primary.dirty = True
-            if self.config.track_data and primary.words is not None:
+            if self._track_data and primary.words is not None:
                 value = self._next_store_value()
                 primary.write_word(word_index, value)
-                if self.write_policy == "writethrough":
+                if not self._writeback:
                     self._memory_image[block_addr][word_index] = value
-            if primary.has_replica:
+            if primary.replica_refs:
                 self._update_replicas(primary, word_index, now)
-            return DL1Outcome(hit=False, latency=1, replica_fill=True)
+            return self._out_replica_fill_store
         # One extra cycle over a normal hit to reach the replica's set.
-        return DL1Outcome(hit=False, latency=2, replica_fill=True)
+        return self._out_replica_fill_load
 
     def _miss(
         self, block_addr: int, word_index: int, is_write: bool, now: int
     ) -> DL1Outcome:
+        stats = self.stats
         if is_write:
-            self.stats.store_misses += 1
+            stats.store_misses += 1
         else:
-            self.stats.load_misses += 1
-        home = self.geometry.set_index(block_addr)
+            stats.load_misses += 1
+        home = block_addr & self._set_mask
         victim = self.lru_victim(home)
         self.evict(victim)
         victim.fill(block_addr, now, dirty=False)
+        self._tag_index[block_addr] = victim
         primary = victim
-        primary.protection = self.config.protection_for(replicated=False)
-        self.stats.array_writes += 1
-        self._count_generate(primary.protection)
-        self._materialize(primary, replicated=False)
-        self.touch_lru(primary)
+        primary.protection = self._prot_unrep
+        stats.array_writes += 1
+        if self._unrep_is_parity:
+            stats.parity_generates += 1
+        else:
+            stats.ecc_generates += 1
+        if self._track_data:
+            self._materialize(primary, replicated=False)
+        self._lru_clock += 1
+        primary.lru_stamp = self._lru_clock
+        if self._touch_tracked:
+            self.replacement.on_touch(primary.set_index, primary.way)
 
-        replicate_at_fill = self.config.trigger.on_fill
-        if (
-            not replicate_at_fill
-            and self.config.hints is not None
-            and self.config.replicates
-        ):
+        replicate_at_fill = self._trig_fill
+        if not replicate_at_fill and self._hints is not None and self._replicates:
             # Software "eager" hint: replicate this line at fill time even
             # under the stores-only trigger.
-            replicate_at_fill = self.config.hints.replicate_on_fill(
+            replicate_at_fill = self._hints.replicate_on_fill(
                 block_addr, self.geometry.block_size
             )
         if replicate_at_fill:
             self._attempt_replication(primary, now)
         if is_write:
-            if self.write_policy == "writeback":
+            if self._writeback:
                 primary.dirty = True
-            self.stats.array_writes += 1
-            self._count_generate(primary.protection)
-            if self.config.track_data and primary.words is not None:
+            stats.array_writes += 1
+            # Fill-time replication may have upgraded the protection.
+            if primary.protection is ProtectionKind.PARITY:
+                stats.parity_generates += 1
+            else:
+                stats.ecc_generates += 1
+            if self._track_data and primary.words is not None:
                 value = self._next_store_value()
                 primary.write_word(word_index, value)
-                if self.write_policy == "writethrough":
+                if not self._writeback:
                     self._memory_image[block_addr][word_index] = value
-            if primary.has_replica:
+            if primary.replica_refs:
                 self._update_replicas(primary, word_index, now)
-            elif self.config.trigger.on_store:
+            elif self._trig_store:
                 self._attempt_replication(primary, now)
-        return DL1Outcome(hit=False, latency=None)
+        return self._out_miss
 
     # ------------------------------------------------------------------
     # replication
@@ -385,10 +638,10 @@ class ICRCache(SetAssociativeCache):
         Software hints (Section 6 future work) can exclude the line or
         override how many replicas it gets.
         """
-        if not self.config.replicates or primary.has_replica:
+        if not self._replicates or primary.replica_refs:
             return
         wanted = self.config.max_replicas
-        hints = self.config.hints
+        hints = self._hints
         if hints is not None:
             block_size = self.geometry.block_size
             if not hints.may_replicate(primary.block_addr, block_size):
@@ -413,43 +666,50 @@ class ICRCache(SetAssociativeCache):
         self, primary: CacheBlock, distances: tuple[int, ...], now: int
     ) -> Optional[CacheBlock]:
         """Walk candidate distances; install a replica at the first home."""
-        home = self.geometry.set_index(primary.block_addr)
-        n = self.geometry.n_sets
+        stats = self.stats
+        sets = self.sets
+        predictor = self.predictor
+        policy = self._victim_policy
+        allow_invalid = self._allow_invalid_victims
+        block_addr = primary.block_addr
+        home = block_addr & self._set_mask
+        n = self._set_mask + 1
         for distance in distances:
             target = (home + distance) % n
-            self.stats.tag_probes += 1
+            stats.tag_probes += 1
             victim = find_replica_victim(
-                self.sets[target],
-                self.config.victim_policy,
-                self.predictor,
+                sets[target],
+                policy,
+                predictor,
                 now,
                 exclude_block=primary,
-                exclude_addr=primary.block_addr,
-                allow_invalid=self.config.replicate_into_invalid,
+                exclude_addr=block_addr,
+                allow_invalid=allow_invalid,
             )
             if victim is None:
                 continue
             if victim.valid and not victim.is_replica:
-                if self.predictor.is_dead(victim, now):
-                    self.stats.dead_evictions += 1
+                if predictor.is_dead(victim, now):
+                    stats.dead_evictions += 1
             self.evict(victim)
-            victim.fill(primary.block_addr, now, is_replica=True)
+            victim.fill(block_addr, now, is_replica=True)
             victim.protection = ProtectionKind.PARITY
             victim.primary_ref = primary
             primary.replica_refs.append(victim)
+            self._index_replica(victim)
             self.touch_lru(victim)
-            self.stats.array_writes += 1
-            self._count_generate(ProtectionKind.PARITY)
-            if self.config.track_data:
+            stats.array_writes += 1
+            stats.parity_generates += 1
+            if self._track_data:
                 victim.materialize_words(
                     ProtectionKind.PARITY,
                     [w.raw_data for w in primary.words]
                     if primary.words is not None
-                    else list(self._golden_words(primary.block_addr)),
+                    else list(self._golden_words(block_addr)),
                 )
                 victim.golden = list(primary.golden or victim.golden)
             # Replicated lines are parity-protected for 1-cycle loads.
-            new_kind = self.config.protection_for(replicated=True)
+            new_kind = self._prot_rep
             if primary.protection is not new_kind:
                 primary.reprotect(new_kind)
                 self._count_generate(new_kind)

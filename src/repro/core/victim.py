@@ -19,15 +19,18 @@ category.  Dead *replicas* count as replicas, not as dead blocks.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Optional, Sequence
 
 from repro.cache.block import CacheBlock
 from repro.core.config import VictimPolicy
 from repro.core.decay import DeadBlockPredictor
 
+_BY_STAMP = attrgetter("lru_stamp")
+
 
 def _lru(blocks: list[CacheBlock]) -> Optional[CacheBlock]:
-    return min(blocks, key=lambda b: b.lru_stamp) if blocks else None
+    return min(blocks, key=_BY_STAMP) if blocks else None
 
 
 def find_replica_victim(
@@ -61,6 +64,11 @@ def find_replica_victim(
     """
     dead: list[CacheBlock] = []
     replicas: list[CacheBlock] = []
+    # The two constant windows (0: everything is dead the moment its access
+    # completes; None: decay disabled) need no per-block counter math.
+    window = predictor.decay_window
+    always_dead = window == 0
+    never_dead = window is None
     for block in ways:
         if block is exclude_block:
             continue
@@ -68,11 +76,12 @@ def find_replica_victim(
             if allow_invalid:
                 return block
             continue
-        if block.block_addr == exclude_addr and block.is_replica:
-            continue
         if block.is_replica:
-            replicas.append(block)
-        elif predictor.is_dead(block, now):
+            if block.block_addr != exclude_addr:
+                replicas.append(block)
+        elif always_dead:
+            dead.append(block)
+        elif not never_dead and predictor.is_dead(block, now):
             dead.append(block)
 
     if policy is VictimPolicy.DEAD_ONLY:

@@ -141,14 +141,28 @@ class CombinedPredictor:
                 self.stats.btb_misses += 1
                 mispredict = True
 
-        # Update component tables with the true outcome.
-        self.bimodal[bi_index] = _counter_update(self.bimodal[bi_index], taken)
-        self.l2_table[l2_index] = _counter_update(self.l2_table[l2_index], taken)
+        # Update component tables with the true outcome (2-bit saturating
+        # counters, inlined — this runs once per branch instruction).
+        bimodal = self.bimodal
+        l2_table = self.l2_table
+        if taken:
+            if bimodal[bi_index] < 3:
+                bimodal[bi_index] += 1
+            if l2_table[l2_index] < 3:
+                l2_table[l2_index] += 1
+        else:
+            if bimodal[bi_index] > 0:
+                bimodal[bi_index] -= 1
+            if l2_table[l2_index] > 0:
+                l2_table[l2_index] -= 1
         if bimodal_taken != l2_taken:
             # Reward whichever component was right.
-            self.chooser[ch_index] = _counter_update(
-                self.chooser[ch_index], l2_taken == taken
-            )
+            chooser = self.chooser
+            if l2_taken == taken:
+                if chooser[ch_index] < 3:
+                    chooser[ch_index] += 1
+            elif chooser[ch_index] > 0:
+                chooser[ch_index] -= 1
         self.history = ((self.history << 1) | int(taken)) & self.history_mask
         if taken:
             self._btb_insert(pc, target)

@@ -84,13 +84,31 @@ class FunctionalUnits:
         if specs:
             self.specs.update(specs)
         self._pools = {name: _Pool(spec) for name, spec in self.specs.items()}
+        # op -> (shared free_at list, latency, interval): one lookup per
+        # issue on the per-instruction hot path.  Pools shared by several
+        # ops (mem_port, int_alu) share the same free_at list object.
+        self._by_op: dict[int, tuple[list[int], int, int]] = {
+            op: (
+                self._pools[name].free_at,
+                self._pools[name].spec.latency,
+                self._pools[name].spec.interval,
+            )
+            for op, name in _OP_TO_POOL.items()
+        }
 
     def issue(self, op: int, ready: int) -> tuple[int, int]:
         """Reserve the right pool for *op*; returns (start, unit latency)."""
-        pool_name = _OP_TO_POOL[op]
-        pool = self._pools[pool_name]
-        start = pool.reserve(ready)
-        return start, pool.spec.latency
+        free, latency, interval = self._by_op[op]
+        best = 0
+        best_time = free[0]
+        for i in range(1, len(free)):
+            t = free[i]
+            if t < best_time:
+                best_time = t
+                best = i
+        start = ready if ready >= best_time else best_time
+        free[best] = start + interval
+        return start, latency
 
     def latency_of(self, op: int) -> int:
         return self.specs[_OP_TO_POOL[op]].latency

@@ -31,9 +31,13 @@ always yields the identical trace, so scheme comparisons are paired.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from functools import lru_cache
+from pathlib import Path
+from typing import Optional
 
 from repro.cpu.isa import (
     OP_BRANCH,
@@ -352,14 +356,110 @@ class WorkloadGenerator:
         return trace
 
 
+@lru_cache(maxsize=1)
+def _generator_version() -> str:
+    """Digest of the trace-producing sources (this file and the ISA).
+
+    Part of every trace-cache key: editing the generator or the trace
+    format invalidates all persisted traces, never serves stale ones.
+    """
+    from repro.cpu import isa
+
+    digest = hashlib.blake2b(digest_size=8)
+    for module_file in (__file__, isa.__file__):
+        digest.update(Path(module_file).read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def trace_key(
+    profile: WorkloadProfile, n_instructions: int, seed_offset: int = 0
+) -> str:
+    """Stable content hash for one generated trace.
+
+    Keyed on the full profile parameter set (a digest — renaming a
+    profile field or changing any value changes the key), the requested
+    length and the seed offset, plus the generator code version.
+    """
+    payload = repr(
+        (
+            _generator_version(),
+            tuple(
+                (f.name, repr(getattr(profile, f.name)))
+                for f in fields(profile)
+            ),
+            n_instructions,
+            seed_offset,
+        )
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def trace_cache_dir() -> Optional[Path]:
+    """Directory for persisted traces, or ``None`` when disabled.
+
+    ``REPRO_TRACE_CACHE=0`` disables persistence; ``REPRO_TRACE_CACHE_DIR``
+    relocates it; otherwise traces live beside the result cache
+    (``$REPRO_CACHE_DIR/traces`` or ``~/.cache/repro/traces``).
+    """
+    if os.environ.get("REPRO_TRACE_CACHE", "") == "0":
+        return None
+    explicit = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    if explicit:
+        return Path(explicit).expanduser()
+    base = os.environ.get("REPRO_CACHE_DIR")
+    if base:
+        return Path(base).expanduser() / "traces"
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def _load_persisted(path: Path) -> Optional[Trace]:
+    from repro.workloads.trace_io import load_trace
+
+    try:
+        return load_trace(path)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError):
+        # Corrupt or truncated: drop it and regenerate.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _persist(trace: Trace, path: Path) -> None:
+    from repro.workloads.trace_io import save_trace
+
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        save_trace(trace, tmp)
+        os.replace(tmp, path)
+    except OSError:
+        return  # a read-only or full cache dir never fails the run
+
+
 @lru_cache(maxsize=64)
 def trace_for(
     profile: WorkloadProfile, n_instructions: int, seed_offset: int = 0
 ) -> Trace:
-    """Cached trace generation — scheme sweeps reuse the identical trace.
+    """Memoized trace generation — scheme sweeps reuse the identical trace.
 
-    The profile is a frozen dataclass, so it is hashable; the cache makes
-    scheme comparisons *paired* (identical input trace) and amortizes the
-    generation cost across a sweep.
+    Two layers: an in-process LRU (the profile is a frozen dataclass, so
+    it is hashable) makes scheme comparisons *paired* within one process,
+    and an on-disk store (ICRT files under :func:`trace_cache_dir`, keyed
+    by :func:`trace_key`) shares each generated trace across the worker
+    processes of a sweep and across runs.  The binary round-trip is exact,
+    so a loaded trace is equal-by-value to a freshly generated one.
     """
-    return WorkloadGenerator(profile).generate(n_instructions, seed_offset)
+    directory = trace_cache_dir()
+    if directory is None:
+        return WorkloadGenerator(profile).generate(n_instructions, seed_offset)
+    path = directory / f"{trace_key(profile, n_instructions, seed_offset)}.icrt"
+    trace = _load_persisted(path)
+    if trace is None:
+        trace = WorkloadGenerator(profile).generate(n_instructions, seed_offset)
+        _persist(trace, path)
+    return trace

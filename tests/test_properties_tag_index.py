@@ -1,0 +1,182 @@
+"""Property tests for the O(1) lookup indexes and trace memoization.
+
+The tag/replica indexes in :mod:`repro.cache.set_assoc` and
+:mod:`repro.core.icr_cache` replace the original linear scans of the
+ways.  These tests re-implement those scans as reference oracles and
+drive randomized fill/evict/replicate sequences against several ICR
+configurations, checking that the indexed lookups always return the
+exact block the linear walk would have found.
+
+The second half pins the shared-trace memoization contract: repeated
+``(profile, length, seed)`` requests return equal-by-value traces (the
+same object in-process, an exact binary round-trip across processes),
+while changing the seed changes the trace.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import VictimPolicy
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+from repro.workloads.generator import trace_cache_dir, trace_for, trace_key
+from repro.workloads.spec2000 import profile_for
+
+
+# ---------------------------------------------------------------------------
+# reference oracles: the pre-index linear scans
+# ---------------------------------------------------------------------------
+
+
+def _linear_probe(cache, block_addr):
+    """The original ``probe``: scan the home set's ways for the primary."""
+    home = block_addr % cache.geometry.n_sets
+    for block in cache.sets[home]:
+        if block.valid and not block.is_replica and block.block_addr == block_addr:
+            return block
+    return None
+
+
+def _linear_probe_replica(cache, block_addr):
+    """The original ``_probe_replica``: walk the candidate distances."""
+    n_sets = cache.geometry.n_sets
+    home = block_addr % n_sets
+    for distance in cache._all_distances:
+        target = (home + distance) % n_sets
+        for block in cache.sets[target]:
+            if block.valid and block.is_replica and block.block_addr == block_addr:
+                return block
+    return None
+
+
+def _check_agreement(cache, addr_pool):
+    for addr in addr_pool:
+        block_addr = addr >> cache.geometry.block_offset_bits
+        assert cache.probe(block_addr) is _linear_probe(cache, block_addr)
+        assert cache._probe_replica(block_addr) is _linear_probe_replica(
+            cache, block_addr
+        )
+
+
+def _make_icr(**overrides):
+    defaults = dict(
+        decay_window=0,
+        leave_replicas_on_evict=True,
+        victim_policy=VictimPolicy.DEAD_FIRST,
+    )
+    defaults.update(overrides)
+    return ICRCache(make_config("ICR-P-PS(S)", **defaults))
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {},
+        {"replica_distances": (1, "N/4", "N/2")},
+        {"victim_policy": VictimPolicy.REPLICA_FIRST},
+        {"leave_replicas_on_evict": False},
+        {"replacement": "plru"},
+    ],
+    ids=["default", "multi-distance", "replica-first", "drop-replicas", "plru"],
+)
+def test_indexed_lookup_matches_linear_scan(overrides):
+    """Randomized access/evict sequences: index == linear scan, always."""
+    cache = _make_icr(**overrides)
+    rng = random.Random(1234)
+    # A pool small enough that sets conflict, replicas form, and leftover
+    # replicas get promoted or stranded.
+    pool = [rng.randrange(1 << 18) & ~7 for _ in range(400)]
+    for now in range(4_000):
+        roll = rng.random()
+        if roll < 0.9:
+            cache.access(rng.choice(pool), rng.random() < 0.4, now)
+        else:
+            # Evict a random frame directly — primaries, replicas and
+            # invalid frames alike — to exercise index invalidation.
+            set_index = rng.randrange(cache.geometry.n_sets)
+            way = rng.randrange(cache.geometry.associativity)
+            cache.evict(cache.sets[set_index][way])
+        if now % 250 == 0:
+            _check_agreement(cache, rng.sample(pool, 40))
+    _check_agreement(cache, pool)
+    # Sanity: the sequence actually created replicas at some point.
+    assert cache.stats.replication_successes > 0
+
+
+def test_index_survives_checkpoint_restore():
+    """Bulk restores bypass the fill paths; rebuild_tag_index resyncs."""
+    from repro.cache.checkpoint import restore_checkpoint, take_checkpoint
+
+    cache = _make_icr()
+    rng = random.Random(99)
+    pool = [rng.randrange(1 << 18) & ~7 for _ in range(200)]
+    for now in range(2_000):
+        cache.access(rng.choice(pool), rng.random() < 0.4, now)
+    snap = take_checkpoint(cache)
+    other = _make_icr()
+    restore_checkpoint(other, snap)
+    _check_agreement(other, pool)
+
+
+# ---------------------------------------------------------------------------
+# shared-trace memoization
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def trace_cache(tmp_path, monkeypatch):
+    """Isolated on-disk trace cache; the in-process memo is cleared."""
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+    trace_for.cache_clear()
+    yield tmp_path
+    trace_for.cache_clear()
+
+
+def test_trace_for_memoizes_in_process(trace_cache):
+    profile = profile_for("gzip")
+    assert trace_for(profile, 2_000) is trace_for(profile, 2_000)
+
+
+def test_trace_for_disk_round_trip_equal_by_value(trace_cache):
+    profile = profile_for("gzip")
+    first = trace_for(profile, 2_000)
+    assert list(trace_cache.glob("*.icrt")), "trace was not persisted"
+    trace_for.cache_clear()  # force the second call through the disk layer
+    second = trace_for(profile, 2_000)
+    assert second is not first
+    assert second == first
+
+
+def test_trace_for_distinct_when_seed_changes(trace_cache):
+    profile = profile_for("gzip")
+    assert trace_for(profile, 2_000, seed_offset=0) != trace_for(
+        profile, 2_000, seed_offset=1
+    )
+    assert trace_key(profile, 2_000, 0) != trace_key(profile, 2_000, 1)
+
+
+def test_trace_key_stable_across_calls(trace_cache):
+    profile = profile_for("mcf")
+    assert trace_key(profile, 5_000) == trace_key(profile, 5_000)
+    assert trace_key(profile, 5_000) != trace_key(profile, 5_001)
+
+
+def test_corrupt_trace_file_is_regenerated(trace_cache):
+    profile = profile_for("gzip")
+    first = trace_for(profile, 1_000)
+    path = next(trace_cache.glob("*.icrt"))
+    path.write_bytes(b"not a trace")
+    trace_for.cache_clear()
+    assert trace_for(profile, 1_000) == first
+
+
+def test_trace_cache_disabled_by_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+    assert trace_cache_dir() is None
+    trace_for.cache_clear()
+    trace_for(profile_for("gzip"), 1_000)
+    trace_for.cache_clear()
+    assert not list(tmp_path.glob("*.icrt"))
