@@ -1,0 +1,94 @@
+"""Campaign smoke target: a tiny Monte Carlo fault-injection campaign.
+
+Runs a deliberately small campaign (two schemes, one benchmark, a
+handful of trials) through :mod:`repro.harness.campaign`, records the
+per-cell summary table and the full JSON report under
+``benchmarks/results/``, and sanity-checks the paper's headline claim —
+the ICR scheme's unrecoverable-load fraction must not exceed the
+baseline's at the same error rate.
+
+This is the artifact the CI campaign-smoke job uploads; it is sized to
+finish in well under a minute so it can run on every push without
+gating merges.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+    PYTHONPATH=src python benchmarks/bench_campaign.py --trials 20 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmark", default="gzip", help="workload profile")
+    parser.add_argument(
+        "--schemes", default="BaseP,ICR-P-PS(S)", help="comma-separated schemes"
+    )
+    parser.add_argument("--error-rate", type=float, default=1e-2)
+    parser.add_argument("--trials", type=int, default=12, help="trials per cell")
+    parser.add_argument("--instructions", type=int, default=20_000)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    args = parser.parse_args(argv)
+
+    from repro.harness.campaign import CampaignConfig, run_campaign
+    from repro.harness.runner import ParallelRunner
+
+    config = CampaignConfig(
+        benchmarks=(args.benchmark,),
+        schemes=tuple(args.schemes.split(",")),
+        error_rates=(args.error_rate,),
+        trials=args.trials,
+        batch_size=max(4, args.trials // 2),
+        n_instructions=args.instructions,
+    )
+    start = time.perf_counter()
+    report = run_campaign(config, ParallelRunner(jobs=args.jobs, cache=None))
+    elapsed = time.perf_counter() - start
+
+    table = report.to_table()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_campaign.txt").write_text(table + "\n")
+    (RESULTS_DIR / "BENCH_campaign.json").write_text(report.to_json())
+    print(table)
+    total = sum(len(o.ok_records()) for o in report.outcomes)
+    print(f"\n{total} ok trials in {elapsed:.1f}s "
+          f"({total / elapsed:.1f} trials/sec, jobs={args.jobs})")
+
+    # Shape check: every ICR cell must be at least as resilient as the
+    # baseline cell sharing its (benchmark, error_rate).
+    ulf = {
+        o.cell: o.metric_ci("unrecoverable_load_fraction", config)
+        for o in report.outcomes
+    }
+    ok = True
+    for cell, ci in ulf.items():
+        if ci is None or cell.scheme.startswith("Base"):
+            continue
+        for base_cell, base_ci in ulf.items():
+            if (
+                base_ci is not None
+                and base_cell.scheme.startswith("Base")
+                and base_cell.benchmark == cell.benchmark
+                and base_cell.error_rate == cell.error_rate
+                and ci.mean > base_ci.mean + 1e-9
+            ):
+                print(
+                    f"FAIL: {cell.scheme} ulf {ci.mean:.4f} > "
+                    f"{base_cell.scheme} {base_ci.mean:.4f}",
+                    file=sys.stderr,
+                )
+                ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

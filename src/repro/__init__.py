@@ -32,6 +32,7 @@ from repro.core import (
     make_config,
 )
 from repro.harness import (
+    ExperimentSpec,
     MachineConfig,
     SimulationResult,
     normalized_cycles,
@@ -52,6 +53,7 @@ __all__ = [
     "VictimPolicy",
     "make_cache",
     "make_config",
+    "ExperimentSpec",
     "MachineConfig",
     "SimulationResult",
     "normalized_cycles",

@@ -7,6 +7,13 @@ Installed as the ``repro-icr`` console script::
     repro-icr run vortex BaseP --error-rate 1e-2
     repro-icr compare mcf --relaxed
     repro-icr figure fig09 --instructions 40000 --jobs 4
+    repro-icr campaign --benchmark mcf --schemes "ICR-P-PS(S),BaseP" --trials 50
+
+``campaign`` runs a Monte Carlo fault-injection campaign: N seeded
+trials per (benchmark, scheme, error-rate) cell, reported as means with
+bootstrap confidence intervals (see :mod:`repro.harness.campaign`).  It
+checkpoints after every round and resumes automatically when re-run
+with the same configuration.
 
 ``run``, ``compare`` and ``figure`` all execute through the parallel
 runner (:mod:`repro.harness.runner`): ``--jobs N`` fans the experiment
@@ -26,10 +33,12 @@ from typing import Optional, Sequence
 
 from repro.core.config import VictimPolicy
 from repro.core.schemes import ALL_SCHEMES
+from repro.errors.models import MODELS
 from repro.harness.cache import ResultCache
 from repro.harness.figures import AGGRESSIVE, ALL_FIGURES, RELAXED, run_figure
 from repro.harness.report import format_table, percent
 from repro.harness.runner import Job, ParallelRunner
+from repro.harness.spec import ExperimentSpec
 from repro.workloads.spec2000 import BENCHMARKS
 
 
@@ -88,7 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--error-rate", type=float, default=0.0)
     run.add_argument(
         "--error-model",
-        choices=["random", "direct", "adjacent", "column"],
+        choices=sorted(MODELS),
         default="random",
     )
     run.add_argument("--vulnerability", action="store_true")
@@ -115,6 +124,90 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--instructions", type=int, default=60_000)
     _add_runner_flags(figure)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="Monte Carlo fault-injection campaign with confidence intervals",
+    )
+    campaign.add_argument(
+        "--benchmark",
+        action="append",
+        required=True,
+        metavar="NAME[,NAME...]",
+        help="benchmark(s); repeat the flag or comma-separate",
+    )
+    campaign.add_argument(
+        "--schemes",
+        action="append",
+        required=True,
+        metavar="SCHEME[,SCHEME...]",
+        help="scheme(s); repeat the flag or comma-separate",
+    )
+    campaign.add_argument(
+        "--error-rate",
+        action="append",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-cycle fault probability cell(s); default 1e-2",
+    )
+    campaign.add_argument("--trials", type=int, default=50, metavar="N")
+    campaign.add_argument("--min-trials", type=int, default=8, metavar="N")
+    campaign.add_argument("--batch-size", type=int, default=10, metavar="N")
+    campaign.add_argument(
+        "--target-half-width",
+        type=float,
+        default=None,
+        metavar="W",
+        help="adaptive stopping: stop a cell when the CI half-width of "
+        "the unrecoverable-load fraction drops below W",
+    )
+    campaign.add_argument("--ci-level", type=float, default=0.95)
+    campaign.add_argument("--instructions", type=int, default=40_000)
+    campaign.add_argument(
+        "--error-model", choices=sorted(MODELS), default="random"
+    )
+    campaign.add_argument("--seed", type=int, default=20_000)
+    campaign.add_argument("--vulnerability", action="store_true")
+    campaign.add_argument("--scrub-period", type=int, default=None)
+    campaign.add_argument(
+        "--relaxed",
+        action="store_true",
+        help="apply the Section 5.4 relaxed knobs to non-Base schemes",
+    )
+    campaign.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial wall-clock budget (crashed/hung trials are "
+        "retried with a fresh seed)",
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file (default: .repro-campaign/<digest>.json; "
+        "an interrupted campaign resumes from it)",
+    )
+    campaign.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable checkpointing entirely",
+    )
+    campaign.add_argument(
+        "--trial-log",
+        default=None,
+        metavar="PATH",
+        help="append raw per-trial results as JSONL",
+    )
+    campaign.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the full campaign report as JSON",
+    )
+    _add_runner_flags(campaign)
+
     return parser
 
 
@@ -127,25 +220,26 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    kwargs = {}
+    scheme_kwargs = {}
     if args.decay_window is not None:
-        kwargs["decay_window"] = args.decay_window
+        scheme_kwargs["decay_window"] = args.decay_window
     if args.victim is not None:
-        kwargs["victim_policy"] = VictimPolicy(args.victim)
+        scheme_kwargs["victim_policy"] = VictimPolicy(args.victim)
     if args.leave_replicas:
-        kwargs["leave_replicas_on_evict"] = True
+        scheme_kwargs["leave_replicas_on_evict"] = True
     runner = _make_runner(args)
+    spec = ExperimentSpec(
+        benchmark=args.benchmark,
+        scheme=args.scheme,
+        n_instructions=args.instructions,
+        error_rate=args.error_rate,
+        error_model=args.error_model,
+        measure_vulnerability=args.vulnerability,
+        scheme_kwargs=scheme_kwargs,
+    )
 
     def _simulate():
-        return runner.run_one(
-            args.benchmark,
-            args.scheme,
-            n_instructions=args.instructions,
-            error_rate=args.error_rate,
-            error_model=args.error_model,
-            measure_vulnerability=args.vulnerability,
-            **kwargs,
-        )
+        return runner.run_one(spec)
 
     if args.profile:
         import cProfile
@@ -208,6 +302,75 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_flag(values, cast=str) -> list:
+    """Flatten repeated/comma-separated flag values."""
+    out = []
+    for value in values or []:
+        for part in str(value).split(","):
+            part = part.strip()
+            if part:
+                out.append(cast(part))
+    return out
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.harness.campaign import CampaignConfig, CampaignEngine
+
+    benchmarks = _split_flag(args.benchmark)
+    unknown = [b for b in benchmarks if b not in BENCHMARKS]
+    if unknown:
+        print(
+            f"unknown benchmark(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(BENCHMARKS)})",
+            file=sys.stderr,
+        )
+        return 2
+    schemes = _split_flag(args.schemes)
+    error_rates = args.error_rate if args.error_rate is not None else [1e-2]
+    config = CampaignConfig(
+        benchmarks=tuple(benchmarks),
+        schemes=tuple(schemes),
+        error_rates=tuple(error_rates),
+        trials=args.trials,
+        min_trials=args.min_trials,
+        batch_size=args.batch_size,
+        target_half_width=args.target_half_width,
+        ci_level=args.ci_level,
+        seed0=args.seed,
+        n_instructions=args.instructions,
+        error_model=args.error_model,
+        measure_vulnerability=args.vulnerability,
+        scrub_period=args.scrub_period,
+        scheme_kwargs=RELAXED if args.relaxed else {},
+    )
+    checkpoint = None
+    if not args.no_checkpoint:
+        checkpoint = args.checkpoint or (
+            f".repro-campaign/{config.digest()}.json"
+        )
+        print(f"[campaign] checkpoint: {checkpoint}", file=sys.stderr)
+    runner = _make_runner(args)
+    if args.timeout is not None:
+        runner.timeout = args.timeout
+    engine = CampaignEngine(
+        config,
+        runner,
+        checkpoint_path=checkpoint,
+        trial_log_path=args.trial_log,
+        verbose=True,
+    )
+    if engine.resumed:
+        print("[campaign] resumed from checkpoint", file=sys.stderr)
+    report = engine.run()
+    print(report.to_table())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"[campaign] report written to {args.json}", file=sys.stderr)
+    _report_metrics(runner)
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     result = run_figure(args.figure_id, runner=runner, n=args.instructions)
@@ -227,6 +390,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "figure":
             return _cmd_figure(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
     except BrokenPipeError:  # e.g. `repro-icr list | head`
         return 0
     raise AssertionError("unreachable")

@@ -14,6 +14,7 @@ start of every demand access.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from typing import Optional
@@ -22,6 +23,25 @@ from repro.coding.hamming import CODEWORD_BITS
 from repro.coding.parity import WORD_BITS
 from repro.coding.protection import ProtectionKind
 from repro.errors.models import ErrorModel, FaultSite, make_model
+
+
+def derive_stream_seed(seed: int, stream: str) -> int:
+    """A decorrelated sub-seed for one named draw stream of a trial.
+
+    Monte Carlo campaigns enumerate trials with consecutive integer
+    seeds, so sub-streams must never be derived by integer offsets: with
+    the historical ``seed + 1`` derivation the iL1 injector of trial *s*
+    and the dL1 injector of trial *s + 1* shared one Mersenne Twister
+    stream — their fault histories were identical, not independent.
+    Hashing ``(seed, stream)`` instead guarantees that two trials
+    differing only in *seed* (and two streams of one trial) get draw
+    streams with no such aliasing, for every error model including the
+    multi-draw ``burst`` model.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}\x00{stream}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 class FaultInjector:
@@ -49,7 +69,14 @@ class FaultInjector:
         cache.injector = self
 
     def _draw_gap(self) -> int:
-        """Geometric gap (in cycles) to the next fault; always >= 1."""
+        """Geometric gap (in cycles) to the next fault; always >= 1.
+
+        Draws come from ``self.rng``, the *same* stream the error model
+        uses for its fault sites — one seed pins the whole fault history
+        of one injector.  Cross-trial and cross-cache independence is the
+        caller's job: seed every injector of every trial through
+        :func:`derive_stream_seed`, never with integer-offset seeds.
+        """
         u = self.rng.random()
         # Inverse-CDF sampling of Geometric(p) on {1, 2, ...}.
         gap = int(math.log(1.0 - u) / math.log(1.0 - self.probability)) + 1

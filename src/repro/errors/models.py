@@ -10,7 +10,10 @@ one occurs:
 * ``adjacent`` — two horizontally adjacent bits of the same word, modeling
   a single particle upsetting neighbouring cells;
 * ``column``   — the same bit position in two vertically adjacent lines of
-  a set, modeling a strike along a bitline column.
+  a set, modeling a strike along a bitline column;
+* ``burst``    — a run of 2..5 adjacent bits of one word (spilling into
+  the next word of the line), modeling a high-energy particle track that
+  defeats single-error protection within one protection domain.
 
 Faults are expressed as ``FaultSite`` records; the injector applies them to
 the bit-accurate word storage.  Bit indices cover the *whole* protected
@@ -153,11 +156,49 @@ class ColumnModel:
         return sites
 
 
+class BurstModel:
+    """A multi-bit burst: a run of adjacent bits of one word, spilling
+    into the next word of the same line when it crosses the word edge.
+
+    Models a high-energy particle track upsetting a short run of
+    physically contiguous cells — the worst case for per-word parity
+    *and* SEC-DED, since several flips land inside one protection
+    domain.  The burst length is drawn (2..5) from the caller's RNG, so
+    the whole fault history — strike times, sites and lengths alike —
+    is pinned by the injector's single seed.
+    """
+
+    name = "burst"
+
+    MIN_LENGTH = 2
+    MAX_LENGTH = 5
+
+    def sites(self, cache, rng: random.Random):
+        found = _random_valid_line(cache, rng)
+        if found is None:
+            return []
+        set_index, way, block = found
+        n_words = len(block.words)
+        word = rng.randrange(n_words)
+        width = _protected_bits(block)
+        start = rng.randrange(width)
+        length = rng.randint(self.MIN_LENGTH, self.MAX_LENGTH)
+        sites = []
+        for offset in range(length):
+            bit = start + offset
+            w, b = word + bit // width, bit % width
+            if w >= n_words:
+                break  # burst ran off the end of the line
+            sites.append(FaultSite(set_index, way, w, b))
+        return sites
+
+
 MODELS: dict[str, type] = {
     "random": RandomModel,
     "direct": DirectModel,
     "adjacent": AdjacentModel,
     "column": ColumnModel,
+    "burst": BurstModel,
 }
 
 

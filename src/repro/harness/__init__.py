@@ -8,13 +8,22 @@ from repro.harness.cache import (
     result_from_dict,
     result_to_dict,
 )
+from repro.harness.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignReport,
+    run_campaign,
+)
 from repro.harness.experiment import (
-    DEFAULT_INSTRUCTIONS,
-    MachineConfig,
     SimulationResult,
     normalized_cycles,
     run_experiment,
     run_schemes,
+)
+from repro.harness.spec import (
+    DEFAULT_INSTRUCTIONS,
+    ExperimentSpec,
+    MachineConfig,
 )
 from repro.harness.figures import (
     ALL_FIGURES,
@@ -31,11 +40,19 @@ from repro.harness.runner import (
     RunnerError,
     RunnerStats,
 )
+from repro.harness.stats import BootstrapCI, bootstrap_ci
 from repro.harness.sweeps import SweepResult, decay_window_sweep, scheme_sweep, sweep
 
 __all__ = [
     "DEFAULT_INSTRUCTIONS",
+    "ExperimentSpec",
     "MachineConfig",
+    "CampaignConfig",
+    "CampaignEngine",
+    "CampaignReport",
+    "run_campaign",
+    "BootstrapCI",
+    "bootstrap_ci",
     "SimulationResult",
     "normalized_cycles",
     "run_experiment",

@@ -35,34 +35,14 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro.core.config import ICRConfig
-from repro.cpu.branch import PredictorStats
-from repro.cpu.pipeline import PipelineResult
-from repro.energy.accounting import EnergyBreakdown
-from repro.harness.experiment import (
-    DEFAULT_INSTRUCTIONS,
-    MachineConfig,
-    SimulationResult,
-)
+from repro.harness.experiment import SimulationResult
+from repro.harness.spec import RUN_DEFAULTS as _RUN_DEFAULTS
+from repro.harness.spec import MachineConfig
 from repro.workloads.generator import WorkloadProfile
 from repro.workloads.spec2000 import profile_for
 
 #: Bumped whenever the on-disk entry format changes.
 CACHE_FORMAT = 1
-
-#: Defaults of :func:`run_experiment`'s named parameters; omitted kwargs
-#: are normalized against these before hashing.
-_RUN_DEFAULTS: dict[str, Any] = {
-    "n_instructions": DEFAULT_INSTRUCTIONS,
-    "machine": None,
-    "error_rate": 0.0,
-    "error_model": "random",
-    "error_seed": 12345,
-    "measure_vulnerability": False,
-    "scrub_period": None,
-    "trace_seed": 0,
-    "warmup_instructions": 0,
-    "icache_error_rate": 0.0,
-}
 
 
 class UncacheableJobError(ValueError):
@@ -164,105 +144,19 @@ def job_key(
 # SimulationResult <-> JSON
 # ---------------------------------------------------------------------------
 
-
-def _vulnerability_to_dict(report) -> dict:
-    return {
-        "block_cycles": {c.value: v for c, v in report.block_cycles.items()},
-        "invalid_block_cycles": report.invalid_block_cycles,
-        "observed_cycles": report.observed_cycles,
-        "samples": report.samples,
-        "total_blocks": report.total_blocks,
-    }
-
-
-def _vulnerability_from_dict(data: dict):
-    from repro.reliability.vulnerability import ExposureClass, VulnerabilityReport
-
-    return VulnerabilityReport(
-        block_cycles={
-            ExposureClass(name): value
-            for name, value in data["block_cycles"].items()
-        },
-        invalid_block_cycles=data["invalid_block_cycles"],
-        observed_cycles=data["observed_cycles"],
-        samples=data["samples"],
-        total_blocks=data["total_blocks"],
-    )
+# The plain-data round-trip lives on SimulationResult itself
+# (to_dict/from_dict); these wrappers are kept as the harness-level
+# names used throughout the cache and its tests.
 
 
 def result_to_dict(result: SimulationResult) -> dict:
     """Lossless plain-data form of a :class:`SimulationResult`."""
-    p = result.pipeline
-    return {
-        "format": CACHE_FORMAT,
-        "benchmark": result.benchmark,
-        "scheme": result.scheme,
-        "instructions": result.instructions,
-        "cycles": result.cycles,
-        "pipeline": {
-            "cycles": p.cycles,
-            "instructions": p.instructions,
-            "loads": p.loads,
-            "stores": p.stores,
-            "branches": p.branches,
-            "mispredicts": p.mispredicts,
-            "predictor_stats": dataclasses.asdict(p.predictor_stats),
-        },
-        "dl1": dict(result.dl1),
-        "miss_rate": result.miss_rate,
-        "load_miss_rate": result.load_miss_rate,
-        "replication_ability": result.replication_ability,
-        "second_replica_ability": result.second_replica_ability,
-        "loads_with_replica": result.loads_with_replica,
-        "unrecoverable_load_fraction": result.unrecoverable_load_fraction,
-        "energy": dataclasses.asdict(result.energy),
-        "write_buffer_stalls": result.write_buffer_stalls,
-        "vulnerability": (
-            _vulnerability_to_dict(result.vulnerability)
-            if result.vulnerability is not None
-            else None
-        ),
-        "l1i": dict(result.l1i) if result.l1i is not None else None,
-    }
+    return result.to_dict()
 
 
 def result_from_dict(data: dict) -> SimulationResult:
     """Inverse of :func:`result_to_dict` (raises on malformed input)."""
-    if data.get("format") != CACHE_FORMAT:
-        raise ValueError(f"unsupported cache entry format {data.get('format')!r}")
-    p = data["pipeline"]
-    pipeline = PipelineResult(
-        cycles=p["cycles"],
-        instructions=p["instructions"],
-        loads=p["loads"],
-        stores=p["stores"],
-        branches=p["branches"],
-        mispredicts=p["mispredicts"],
-        predictor_stats=PredictorStats(**p["predictor_stats"]),
-    )
-    vulnerability = data["vulnerability"]
-    return SimulationResult(
-        benchmark=data["benchmark"],
-        scheme=data["scheme"],
-        instructions=data["instructions"],
-        cycles=data["cycles"],
-        pipeline=pipeline,
-        dl1=dict(data["dl1"]),
-        miss_rate=data["miss_rate"],
-        load_miss_rate=data["load_miss_rate"],
-        replication_ability=data["replication_ability"],
-        second_replica_ability=data["second_replica_ability"],
-        loads_with_replica=data["loads_with_replica"],
-        unrecoverable_load_fraction=data["unrecoverable_load_fraction"],
-        energy=EnergyBreakdown(**data["energy"]),
-        write_buffer_stalls=data["write_buffer_stalls"],
-        vulnerability=(
-            _vulnerability_from_dict(vulnerability)
-            if vulnerability is not None
-            else None
-        ),
-        l1i=dict(data["l1i"]) if data["l1i"] is not None else None,
-    )
+    return SimulationResult.from_dict(data)
 
 
 class ResultCache:

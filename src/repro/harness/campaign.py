@@ -1,0 +1,621 @@
+"""Monte Carlo fault-injection campaigns with confidence intervals.
+
+The paper's reliability numbers (Figure 14, the unrecoverable-load
+fraction, the AVF census, derived MTTF) come from *one* seeded
+fault-injection run per configuration — a single-sample point estimate.
+This module upgrades them to statistical campaigns: every
+``(benchmark, scheme, error_rate)`` cell runs N independent trials that
+differ only in their fault-injection seed, fanned out through the
+:class:`~repro.harness.runner.ParallelRunner` (and therefore through
+the content-addressed result cache), and the per-trial outcomes are
+aggregated into means with percentile-bootstrap confidence intervals.
+
+Design points, in the order a long campaign meets them:
+
+* **Trials are specs.**  Each trial is an
+  :class:`~repro.harness.spec.ExperimentSpec` whose ``error_seed`` is a
+  hash of (campaign seed, cell, trial index, attempt) — the cache key
+  falls out of the spec's content hash, so re-running or resuming a
+  campaign never re-simulates a trial it already has.
+* **Adaptive stopping.**  With ``target_half_width`` set, a cell stops
+  scheduling new trials once the CI half-width of its
+  unrecoverable-load fraction drops below the target (after
+  ``min_trials``); otherwise it runs the full ``trials`` budget.
+* **Graceful degradation.**  A crashed or hung worker costs one
+  attempt: the trial is retried with a *fresh* seed (bounded by
+  ``max_trial_retries``), and a trial that exhausts its retries is
+  recorded as failed in the report instead of aborting the campaign.
+* **Checkpointing.**  After every round the engine atomically writes a
+  JSON checkpoint of all trial records; a new engine pointed at the
+  same checkpoint resumes exactly where the interrupted one stopped and
+  produces a byte-identical final report (everything downstream of the
+  records — bootstrap resampling included — is deterministic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.harness.report import format_table
+from repro.harness.runner import Job, ParallelRunner, RunnerError
+from repro.harness.spec import ExperimentSpec, MachineConfig
+from repro.harness.stats import BootstrapCI, bootstrap_ci
+
+#: Version tag of the checkpoint / report plain-data formats.
+CAMPAIGN_FORMAT = 1
+
+#: The per-trial metric driving adaptive stopping.
+STOPPING_METRIC = "unrecoverable_load_fraction"
+
+
+def _stable_seed(*parts: Any) -> int:
+    """A 63-bit seed pinned by the hash of its parts (never by offsets)."""
+    text = "\x00".join(repr(p) for p in parts)
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One campaign cell: a (benchmark, scheme, error_rate) triple."""
+
+    benchmark: str
+    scheme: str
+    error_rate: float
+
+    @property
+    def id(self) -> str:
+        return f"{self.benchmark}|{self.scheme}|{self.error_rate!r}"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything a campaign depends on (frozen, content-hashable)."""
+
+    benchmarks: tuple[str, ...]
+    schemes: tuple[str, ...]
+    error_rates: tuple[float, ...] = (1e-2,)
+    trials: int = 50
+    min_trials: int = 8
+    batch_size: int = 10
+    target_half_width: Optional[float] = None
+    ci_level: float = 0.95
+    bootstrap_resamples: int = 1000
+    bootstrap_seed: int = 0
+    seed0: int = 20_000
+    max_trial_retries: int = 2
+    n_instructions: int = 40_000
+    error_model: str = "random"
+    measure_vulnerability: bool = False
+    scrub_period: Optional[int] = None
+    machine: Optional[MachineConfig] = None
+    #: Extra scheme kwargs applied to non-Base schemes (e.g. the relaxed
+    #: decay/victim knobs); normalized to a sorted tuple of pairs.
+    scheme_kwargs: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "error_rates", tuple(self.error_rates))
+        kwargs = self.scheme_kwargs
+        items = kwargs.items() if isinstance(kwargs, Mapping) else tuple(kwargs)
+        object.__setattr__(
+            self, "scheme_kwargs", tuple(sorted((str(k), v) for k, v in items))
+        )
+        if self.trials <= 0:
+            raise ValueError("a campaign needs at least one trial per cell")
+        if self.batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if self.min_trials <= 1:
+            raise ValueError("adaptive stopping needs min_trials >= 2")
+
+    def cells(self) -> list[Cell]:
+        """The campaign grid, in deterministic report order."""
+        return [
+            Cell(bench, scheme, rate)
+            for bench in self.benchmarks
+            for scheme in self.schemes
+            for rate in self.error_rates
+        ]
+
+    def digest(self) -> str:
+        """Content hash of the config plus the simulator code version.
+
+        A checkpoint is only resumed when its digest matches, so a
+        config edit or any simulator change starts a fresh campaign
+        instead of mixing incompatible trial populations.
+        """
+        from repro.harness.cache import _canonical, code_version
+
+        payload = {
+            "format": CAMPAIGN_FORMAT,
+            "code": code_version(),
+            "config": _canonical(self),
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+    def trial_spec(self, cell: Cell, index: int, attempt: int) -> ExperimentSpec:
+        """The fully-specified experiment for one trial attempt.
+
+        The seed is a content hash of (campaign seed, cell, index,
+        attempt): distinct cells never share seeds, and a retry after a
+        crash gets a genuinely fresh seed rather than a neighbour.
+        """
+        scheme_kwargs = (
+            dict(self.scheme_kwargs)
+            if not cell.scheme.startswith("Base")
+            else {}
+        )
+        return ExperimentSpec(
+            benchmark=cell.benchmark,
+            scheme=cell.scheme,
+            n_instructions=self.n_instructions,
+            machine=self.machine,
+            error_rate=cell.error_rate,
+            error_model=self.error_model,
+            error_seed=_stable_seed(
+                self.seed0, cell.benchmark, cell.scheme, cell.error_rate,
+                index, attempt,
+            ),
+            measure_vulnerability=self.measure_vulnerability,
+            scrub_period=self.scrub_period,
+            scheme_kwargs=scheme_kwargs,
+        )
+
+
+@dataclass
+class TrialRecord:
+    """Outcome of one trial attempt (successful or failed)."""
+
+    index: int
+    attempt: int
+    error_seed: int
+    status: str  # "ok" | "failed"
+    error: Optional[str] = None
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "attempt": self.attempt,
+            "error_seed": self.error_seed,
+            "status": self.status,
+            "error": self.error,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialRecord":
+        return cls(
+            index=data["index"],
+            attempt=data["attempt"],
+            error_seed=data["error_seed"],
+            status=data["status"],
+            error=data.get("error"),
+            metrics=dict(data.get("metrics") or {}),
+        )
+
+
+def trial_metrics(result) -> dict[str, Any]:
+    """The per-trial reliability metrics a campaign aggregates."""
+    d = result.dl1
+    cycles = result.cycles
+    unrecoverable = d.get("load_errors_unrecoverable", 0)
+    metrics: dict[str, Any] = {
+        "cycles": cycles,
+        "instructions": result.instructions,
+        "errors_injected": d.get("errors_injected", 0),
+        "load_errors_detected": d.get("load_errors_detected", 0),
+        "load_errors_unrecoverable": unrecoverable,
+        "load_errors_recovered_replica": d.get("load_errors_recovered_replica", 0),
+        "load_errors_recovered_l2": d.get("load_errors_recovered_l2", 0),
+        "load_errors_corrected_ecc": d.get("load_errors_corrected_ecc", 0),
+        "silent_corruptions": d.get("silent_corruptions", 0),
+        "unrecoverable_load_fraction": result.unrecoverable_load_fraction,
+        "fatal_rate_per_cycle": unrecoverable / cycles if cycles else 0.0,
+        "avf": (
+            result.vulnerability.vulnerable_fraction
+            if result.vulnerability is not None
+            else None
+        ),
+    }
+    return metrics
+
+
+def _ci_to_dict(ci: BootstrapCI) -> dict:
+    return {
+        "mean": ci.mean,
+        "lo": ci.lo,
+        "hi": ci.hi,
+        "half_width": ci.half_width,
+        "n": ci.n,
+        "level": ci.level,
+    }
+
+
+@dataclass
+class CellOutcome:
+    """All records of one cell plus its aggregate statistics."""
+
+    cell: Cell
+    records: list[TrialRecord]
+    stopped_early: bool = False
+
+    def ok_records(self) -> list[TrialRecord]:
+        return sorted(
+            (r for r in self.records if r.status == "ok"),
+            key=lambda r: (r.index, r.attempt),
+        )
+
+    def failed_attempts(self) -> int:
+        return sum(1 for r in self.records if r.status == "failed")
+
+    def metric_values(self, metric: str) -> list[float]:
+        values = []
+        for record in self.ok_records():
+            value = record.metrics.get(metric)
+            if value is not None:
+                values.append(float(value))
+        return values
+
+    def metric_ci(self, metric: str, config: CampaignConfig) -> Optional[BootstrapCI]:
+        values = self.metric_values(metric)
+        if not values:
+            return None
+        return bootstrap_ci(
+            values,
+            level=config.ci_level,
+            n_resamples=config.bootstrap_resamples,
+            seed=_stable_seed(config.bootstrap_seed, self.cell.id, metric),
+        )
+
+    def summary(self, config: CampaignConfig) -> dict:
+        """Aggregate statistics (plain data, deterministic)."""
+        out: dict[str, Any] = {
+            "benchmark": self.cell.benchmark,
+            "scheme": self.cell.scheme,
+            "error_rate": self.cell.error_rate,
+            "trials_ok": len(self.ok_records()),
+            "failed_attempts": self.failed_attempts(),
+            "stopped_early": self.stopped_early,
+            "metrics": {},
+        }
+        for metric in (
+            "unrecoverable_load_fraction",
+            "fatal_rate_per_cycle",
+            "avf",
+            "silent_corruptions",
+            "errors_injected",
+        ):
+            ci = self.metric_ci(metric, config)
+            if ci is not None:
+                out["metrics"][metric] = _ci_to_dict(ci)
+        rate = out["metrics"].get("fatal_rate_per_cycle")
+        if rate is not None:
+            # MTTF in cycles is the inverse of the fatal rate; a zero
+            # rate bound maps to None (report-friendly "no failures
+            # observed") rather than JSON-hostile infinity.
+            out["metrics"]["mttf_cycles"] = {
+                "mean": 1.0 / rate["mean"] if rate["mean"] > 0 else None,
+                "lo": 1.0 / rate["hi"] if rate["hi"] > 0 else None,
+                "hi": 1.0 / rate["lo"] if rate["lo"] > 0 else None,
+            }
+        return out
+
+
+@dataclass
+class CampaignReport:
+    """Final (or partial) campaign outcome: records + aggregates."""
+
+    config: CampaignConfig
+    digest: str
+    outcomes: list[CellOutcome]
+    complete: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CAMPAIGN_FORMAT,
+            "campaign": self.digest,
+            "complete": self.complete,
+            "cells": [
+                {
+                    **outcome.summary(self.config),
+                    "records": [
+                        r.to_dict()
+                        for r in sorted(
+                            outcome.records, key=lambda r: (r.index, r.attempt)
+                        )
+                    ],
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (byte-identical across resumes)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_table(self) -> str:
+        """The per-cell summary table (mean and CI bounds per metric)."""
+        columns = [
+            "benchmark", "scheme", "error_rate", "n", "failed",
+            "ulf_mean", "ulf_lo", "ulf_hi",
+        ]
+        have_avf = self.config.measure_vulnerability
+        if have_avf:
+            columns += ["avf_mean", "avf_lo", "avf_hi"]
+        rows = []
+        for outcome in self.outcomes:
+            summary = outcome.summary(self.config)
+            ulf = summary["metrics"].get("unrecoverable_load_fraction")
+            row = [
+                summary["benchmark"],
+                summary["scheme"],
+                f"{summary['error_rate']:g}",
+                summary["trials_ok"],
+                summary["failed_attempts"],
+            ]
+            row += (
+                [ulf["mean"], ulf["lo"], ulf["hi"]]
+                if ulf
+                else [float("nan")] * 3
+            )
+            if have_avf:
+                avf = summary["metrics"].get("avf")
+                row += (
+                    [avf["mean"], avf["lo"], avf["hi"]]
+                    if avf
+                    else [float("nan")] * 3
+                )
+            rows.append(row)
+        return format_table(columns, rows)
+
+
+class CampaignEngine:
+    """Runs a :class:`CampaignConfig` to completion, round by round.
+
+    Parameters
+    ----------
+    config:
+        The campaign definition.
+    runner:
+        A :class:`~repro.harness.runner.ParallelRunner` (bring your own
+        worker count / result cache); default is serial and uncached.
+    checkpoint_path:
+        JSON checkpoint location.  Written atomically after every
+        round; loaded on construction when it exists and its config
+        digest matches.  ``None`` disables checkpointing.
+    trial_log_path:
+        Optional JSONL file appended with one line per finished trial
+        attempt — the full :meth:`SimulationResult.to_dict` payload for
+        successes, the error text for failures.
+    verbose:
+        When true, one progress line per round goes to *stream*
+        (default ``sys.stderr``).
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        runner: Optional[ParallelRunner] = None,
+        *,
+        checkpoint_path: Union[str, Path, None] = None,
+        trial_log_path: Union[str, Path, None] = None,
+        verbose: bool = False,
+        stream=None,
+    ):
+        self.config = config
+        self.runner = runner if runner is not None else ParallelRunner(jobs=1)
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.trial_log_path = Path(trial_log_path) if trial_log_path else None
+        self.verbose = verbose
+        self.stream = stream if stream is not None else sys.stderr
+        self.digest = config.digest()
+        self.outcomes: dict[Cell, CellOutcome] = {
+            cell: CellOutcome(cell, []) for cell in config.cells()
+        }
+        self.rounds_run = 0
+        self.resumed = False
+        if self.checkpoint_path is not None:
+            self.resumed = self._load_checkpoint()
+
+    # -- scheduling -------------------------------------------------------
+
+    def _next_index(self, outcome: CellOutcome) -> int:
+        """Indices are attempted contiguously; the next is 1 + highest."""
+        if not outcome.records:
+            return 0
+        return 1 + max(r.index for r in outcome.records)
+
+    def _cell_done(self, outcome: CellOutcome) -> bool:
+        if self._next_index(outcome) >= self.config.trials:
+            return True
+        if self.config.target_half_width is None:
+            return False
+        values = outcome.metric_values(STOPPING_METRIC)
+        if len(values) < self.config.min_trials:
+            return False
+        ci = outcome.metric_ci(STOPPING_METRIC, self.config)
+        if ci is not None and ci.half_width <= self.config.target_half_width:
+            outcome.stopped_early = True
+            return True
+        return False
+
+    def _schedule_round(self) -> list[tuple[Cell, int, int]]:
+        """(cell, trial index, attempt 0) tuples for the next round."""
+        work = []
+        for cell in self.config.cells():
+            outcome = self.outcomes[cell]
+            if self._cell_done(outcome):
+                continue
+            start = self._next_index(outcome)
+            stop = min(start + self.config.batch_size, self.config.trials)
+            work.extend((cell, index, 0) for index in range(start, stop))
+        return work
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, max_rounds: Optional[int] = None) -> CampaignReport:
+        """Run rounds until every cell is done (or *max_rounds* is hit).
+
+        *max_rounds* exists for tests and incremental driving; a report
+        built after an early stop is marked ``complete=False``.
+        """
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            work = self._schedule_round()
+            if not work:
+                break
+            self._run_round(work)
+            rounds += 1
+            self.rounds_run += 1
+            self._write_checkpoint()
+            if self.verbose:
+                done = sum(len(o.ok_records()) for o in self.outcomes.values())
+                print(
+                    f"[campaign] round {self.rounds_run}: "
+                    f"{done} ok trials across {len(self.outcomes)} cells",
+                    file=self.stream,
+                )
+        return self.report()
+
+    def _run_round(self, work: list[tuple[Cell, int, int]]) -> None:
+        """Drive every scheduled trial of one round to closure."""
+        while work:
+            jobs = [
+                Job.from_spec(self.config.trial_spec(cell, index, attempt))
+                for cell, index, attempt in work
+            ]
+            results = self.runner.run(jobs, on_error="return")
+            retries: list[tuple[Cell, int, int]] = []
+            for (cell, index, attempt), job, result in zip(work, jobs, results):
+                seed = self.config.trial_spec(cell, index, attempt).error_seed
+                if isinstance(result, RunnerError):
+                    record = TrialRecord(
+                        index=index,
+                        attempt=attempt,
+                        error_seed=seed,
+                        status="failed",
+                        error=_last_line(result.detail),
+                    )
+                    self.outcomes[cell].records.append(record)
+                    self._log_trial(cell, record, None)
+                    if attempt < self.config.max_trial_retries:
+                        retries.append((cell, index, attempt + 1))
+                else:
+                    record = TrialRecord(
+                        index=index,
+                        attempt=attempt,
+                        error_seed=seed,
+                        status="ok",
+                        metrics=trial_metrics(result),
+                    )
+                    self.outcomes[cell].records.append(record)
+                    self._log_trial(cell, record, result)
+            work = retries
+
+    # -- persistence ------------------------------------------------------
+
+    def _write_checkpoint(self) -> None:
+        if self.checkpoint_path is None:
+            return
+        payload = {
+            "format": CAMPAIGN_FORMAT,
+            "campaign": self.digest,
+            "rounds": self.rounds_run,
+            "cells": {
+                cell.id: [r.to_dict() for r in outcome.records]
+                for cell, outcome in self.outcomes.items()
+            },
+        }
+        path = self.checkpoint_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+    def _load_checkpoint(self) -> bool:
+        """Adopt a matching checkpoint; ignore missing/stale/corrupt ones."""
+        path = self.checkpoint_path
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False
+        if (
+            payload.get("format") != CAMPAIGN_FORMAT
+            or payload.get("campaign") != self.digest
+        ):
+            if self.verbose:
+                print(
+                    f"[campaign] ignoring checkpoint {path} "
+                    "(different config or code version)",
+                    file=self.stream,
+                )
+            return False
+        by_id = {cell.id: cell for cell in self.outcomes}
+        loaded = 0
+        for cell_id, records in payload.get("cells", {}).items():
+            cell = by_id.get(cell_id)
+            if cell is None:
+                continue
+            self.outcomes[cell].records = [
+                TrialRecord.from_dict(r) for r in records
+            ]
+            loaded += len(records)
+        self.rounds_run = payload.get("rounds", 0)
+        if self.verbose and loaded:
+            print(
+                f"[campaign] resumed {loaded} trial records from {path}",
+                file=self.stream,
+            )
+        return loaded > 0
+
+    def _log_trial(self, cell: Cell, record: TrialRecord, result) -> None:
+        if self.trial_log_path is None:
+            return
+        line: dict[str, Any] = {"cell": cell.id, **record.to_dict()}
+        if result is not None:
+            line["result"] = result.to_dict()
+        self.trial_log_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.trial_log_path.open("a") as fh:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+
+    # -- reporting --------------------------------------------------------
+
+    def report(self) -> CampaignReport:
+        """The campaign outcome built from the records gathered so far."""
+        outcomes = []
+        complete = True
+        for cell in self.config.cells():
+            outcome = self.outcomes[cell]
+            if not self._cell_done(outcome):
+                complete = False
+            outcomes.append(outcome)
+        return CampaignReport(
+            config=self.config,
+            digest=self.digest,
+            outcomes=outcomes,
+            complete=complete,
+        )
+
+
+def _last_line(detail: str) -> str:
+    """The final non-empty line of a traceback (the exception itself)."""
+    lines = [line for line in detail.strip().splitlines() if line.strip()]
+    return lines[-1].strip() if lines else "unknown error"
+
+
+def run_campaign(
+    config: CampaignConfig,
+    runner: Optional[ParallelRunner] = None,
+    **engine_kwargs: Any,
+) -> CampaignReport:
+    """Convenience one-shot: build an engine, run it, return the report."""
+    return CampaignEngine(config, runner, **engine_kwargs).run()

@@ -4,39 +4,44 @@ One :func:`run_experiment` call reproduces one bar of one figure: it builds
 the Table 1 machine around the requested dL1 scheme, generates (or reuses)
 the benchmark trace, runs the timing pipeline, and returns every Section
 4.1 metric plus the raw counters.
+
+The primary calling convention is spec-based::
+
+    spec = ExperimentSpec("gzip", "ICR-P-PS(S)", n_instructions=100_000)
+    result = run_experiment(spec)
+
+The historical keyword form (``run_experiment(benchmark, scheme, **kw)``)
+is kept as a thin deprecated shim that builds the equivalent
+:class:`~repro.harness.spec.ExperimentSpec` — both forms produce
+bit-identical results and share one cache identity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional, Union
 
-from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
-from repro.cache.set_assoc import CacheGeometry
+from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.config import ICRConfig
 from repro.core.icr_cache import ICRCache
 from repro.core.schemes import make_config
-from repro.cpu.pipeline import OutOfOrderPipeline, PipelineConfig, PipelineResult
+from repro.cpu.branch import PredictorStats
+from repro.cpu.pipeline import OutOfOrderPipeline, PipelineResult
 from repro.energy.accounting import EnergyBreakdown, EnergyParams, energy_of
-from repro.errors.injector import FaultInjector
+from repro.errors.injector import FaultInjector, derive_stream_seed
+from repro.harness.spec import (
+    DEFAULT_INSTRUCTIONS,
+    ExperimentSpec,
+    MachineConfig,
+)
 from repro.workloads.generator import WorkloadProfile, trace_for
 from repro.workloads.spec2000 import profile_for
 
-#: Default trace length.  The paper runs 500M instructions on SimpleScalar;
-#: a pure-Python model uses shorter traces, long past dL1 warm-up (the
-#: convergence test in tests/test_integration_convergence.py verifies the
-#: metrics are stable at this scale).
-DEFAULT_INSTRUCTIONS = 200_000
-
-
-@dataclass(frozen=True)
-class MachineConfig:
-    """The full Table 1 machine around the dL1 under study."""
-
-    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
-    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
-    parity_fraction: float = 0.15
-    ecc_fraction: float = 0.30
+#: Version tag of the plain-data form of :class:`SimulationResult`
+#: (:meth:`SimulationResult.to_dict`); bumped on incompatible changes.
+RESULT_FORMAT = 1
 
 
 @dataclass
@@ -66,74 +71,209 @@ class SimulationResult:
     def cpi(self) -> float:
         return self.cycles / self.instructions if self.instructions else 0.0
 
+    # -- stable plain-data round-trip ------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless plain-data form (JSON-serializable).
+
+        The inverse is :meth:`from_dict`; the round-trip covers every
+        field including the optional ``vulnerability`` and ``l1i``
+        payloads.  This is the one serialization used by the result
+        cache, campaign checkpoints and JSONL trial logs.
+        """
+        p = self.pipeline
+        return {
+            "format": RESULT_FORMAT,
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "pipeline": {
+                "cycles": p.cycles,
+                "instructions": p.instructions,
+                "loads": p.loads,
+                "stores": p.stores,
+                "branches": p.branches,
+                "mispredicts": p.mispredicts,
+                "predictor_stats": dataclasses.asdict(p.predictor_stats),
+            },
+            "dl1": dict(self.dl1),
+            "miss_rate": self.miss_rate,
+            "load_miss_rate": self.load_miss_rate,
+            "replication_ability": self.replication_ability,
+            "second_replica_ability": self.second_replica_ability,
+            "loads_with_replica": self.loads_with_replica,
+            "unrecoverable_load_fraction": self.unrecoverable_load_fraction,
+            "energy": dataclasses.asdict(self.energy),
+            "write_buffer_stalls": self.write_buffer_stalls,
+            "vulnerability": (
+                _vulnerability_to_dict(self.vulnerability)
+                if self.vulnerability is not None
+                else None
+            ),
+            "l1i": dict(self.l1i) if self.l1i is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (raises on malformed input)."""
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(
+                f"unsupported result format {data.get('format')!r}"
+            )
+        p = data["pipeline"]
+        pipeline = PipelineResult(
+            cycles=p["cycles"],
+            instructions=p["instructions"],
+            loads=p["loads"],
+            stores=p["stores"],
+            branches=p["branches"],
+            mispredicts=p["mispredicts"],
+            predictor_stats=PredictorStats(**p["predictor_stats"]),
+        )
+        vulnerability = data["vulnerability"]
+        return cls(
+            benchmark=data["benchmark"],
+            scheme=data["scheme"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            pipeline=pipeline,
+            dl1=dict(data["dl1"]),
+            miss_rate=data["miss_rate"],
+            load_miss_rate=data["load_miss_rate"],
+            replication_ability=data["replication_ability"],
+            second_replica_ability=data["second_replica_ability"],
+            loads_with_replica=data["loads_with_replica"],
+            unrecoverable_load_fraction=data["unrecoverable_load_fraction"],
+            energy=EnergyBreakdown(**data["energy"]),
+            write_buffer_stalls=data["write_buffer_stalls"],
+            vulnerability=(
+                _vulnerability_from_dict(vulnerability)
+                if vulnerability is not None
+                else None
+            ),
+            l1i=dict(data["l1i"]) if data["l1i"] is not None else None,
+        )
+
+
+def _vulnerability_to_dict(report) -> dict:
+    return {
+        "block_cycles": {c.value: v for c, v in report.block_cycles.items()},
+        "invalid_block_cycles": report.invalid_block_cycles,
+        "observed_cycles": report.observed_cycles,
+        "samples": report.samples,
+        "total_blocks": report.total_blocks,
+    }
+
+
+def _vulnerability_from_dict(data: dict):
+    from repro.reliability.vulnerability import ExposureClass, VulnerabilityReport
+
+    return VulnerabilityReport(
+        block_cycles={
+            ExposureClass(name): value
+            for name, value in data["block_cycles"].items()
+        },
+        invalid_block_cycles=data["invalid_block_cycles"],
+        observed_cycles=data["observed_cycles"],
+        samples=data["samples"],
+        total_blocks=data["total_blocks"],
+    )
+
 
 def run_experiment(
-    benchmark: Union[str, WorkloadProfile],
-    scheme: Union[str, ICRConfig],
-    *,
-    n_instructions: int = DEFAULT_INSTRUCTIONS,
-    machine: Optional[MachineConfig] = None,
-    error_rate: float = 0.0,
-    error_model: str = "random",
-    error_seed: int = 12345,
-    measure_vulnerability: bool = False,
-    scrub_period: Optional[int] = None,
-    trace_seed: int = 0,
-    warmup_instructions: int = 0,
-    icache_error_rate: float = 0.0,
-    **scheme_kwargs,
+    benchmark: Union[ExperimentSpec, str, WorkloadProfile],
+    scheme: Union[str, ICRConfig, None] = None,
+    **kwargs: Any,
 ) -> SimulationResult:
-    """Run one (benchmark, scheme) pair on the Table 1 machine.
+    """Run one experiment on the Table 1 machine.
 
-    *scheme* is a scheme name (see :mod:`repro.core.schemes`) or a prebuilt
-    :class:`ICRConfig`; extra keyword arguments (``decay_window``,
-    ``victim_policy``, ``leave_replicas_on_evict``, ``replica_distances``,
-    ...) are forwarded to :func:`repro.core.schemes.make_config` when a
-    name is given.  A nonzero *error_rate* turns on bit-accurate storage
-    and per-cycle Bernoulli fault injection (Section 5.5).
+    Primary form: ``run_experiment(spec)`` with an
+    :class:`~repro.harness.spec.ExperimentSpec`.
+
+    Deprecated form: ``run_experiment(benchmark, scheme, **kwargs)`` —
+    kept for existing call sites; it builds the equivalent spec via
+    :meth:`ExperimentSpec.from_kwargs` and produces identical results.
+    A nonzero ``error_rate`` turns on bit-accurate storage and per-cycle
+    Bernoulli fault injection (Section 5.5).
     """
-    machine = machine or MachineConfig()
-    profile = profile_for(benchmark) if isinstance(benchmark, str) else benchmark
+    if isinstance(benchmark, ExperimentSpec):
+        if scheme is not None or kwargs:
+            raise TypeError(
+                "run_experiment(spec) takes no further arguments; "
+                "derive a new spec with spec.replace(...)"
+            )
+        return _run_spec(benchmark)
+    if scheme is None:
+        raise TypeError("run_experiment needs an ExperimentSpec or a scheme")
+    warnings.warn(
+        "run_experiment(benchmark, scheme, **kwargs) is deprecated; "
+        "build an ExperimentSpec and call run_experiment(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_spec(ExperimentSpec.from_kwargs(benchmark, scheme, **kwargs))
 
-    if isinstance(scheme, ICRConfig):
+
+def _run_spec(spec: ExperimentSpec) -> SimulationResult:
+    """Execute one fully-specified experiment."""
+    machine = spec.machine or MachineConfig()
+    profile = (
+        profile_for(spec.benchmark)
+        if isinstance(spec.benchmark, str)
+        else spec.benchmark
+    )
+    scheme_kwargs = dict(spec.scheme_kwargs)
+
+    if isinstance(spec.scheme, ICRConfig):
         if scheme_kwargs:
             raise ValueError("pass scheme kwargs only with a scheme *name*")
-        config = scheme
+        config = spec.scheme
     else:
-        if error_rate > 0.0:
+        if spec.error_rate > 0.0:
             scheme_kwargs.setdefault("track_data", True)
-        config = make_config(scheme, **scheme_kwargs)
-    if error_rate > 0.0 and not config.track_data:
+        config = make_config(spec.scheme, **scheme_kwargs)
+    if spec.error_rate > 0.0 and not config.track_data:
         raise ValueError("error injection requires track_data=True in the config")
 
     dl1 = ICRCache(config)
     hierarchy_config = machine.hierarchy
-    if icache_error_rate > 0.0 and not hierarchy_config.protected_icache:
-        from dataclasses import replace as _replace
-
-        hierarchy_config = _replace(hierarchy_config, protected_icache=True)
-    hierarchy = MemoryHierarchy(dl1, hierarchy_config)
-    if icache_error_rate > 0.0:
-        FaultInjector(
-            hierarchy.l1i, icache_error_rate, model=error_model, seed=error_seed + 1
+    if spec.icache_error_rate > 0.0 and not hierarchy_config.protected_icache:
+        hierarchy_config = dataclasses.replace(
+            hierarchy_config, protected_icache=True
         )
-    if error_rate > 0.0:
-        FaultInjector(dl1, error_rate, model=error_model, seed=error_seed)
+    hierarchy = MemoryHierarchy(dl1, hierarchy_config)
+    if spec.icache_error_rate > 0.0:
+        # The iL1 stream is hash-derived from the trial seed, never a
+        # neighbouring integer seed — two trials differing only in
+        # error_seed can't alias each other's draw streams.
+        FaultInjector(
+            hierarchy.l1i,
+            spec.icache_error_rate,
+            model=spec.error_model,
+            seed=derive_stream_seed(spec.error_seed, "l1i"),
+        )
+    if spec.error_rate > 0.0:
+        FaultInjector(
+            dl1, spec.error_rate, model=spec.error_model, seed=spec.error_seed
+        )
     monitor = None
-    if measure_vulnerability:
+    if spec.measure_vulnerability:
         from repro.reliability.vulnerability import VulnerabilityMonitor
 
         monitor = VulnerabilityMonitor(dl1)
-    if scrub_period is not None:
+    if spec.scrub_period is not None:
         from repro.errors.scrubber import Scrubber
 
-        Scrubber(dl1, period=scrub_period)
+        Scrubber(dl1, period=spec.scrub_period)
     pipeline = OutOfOrderPipeline(hierarchy, machine.pipeline)
 
     trace = trace_for(
-        profile, n_instructions + warmup_instructions, seed_offset=trace_seed
+        profile,
+        spec.n_instructions + spec.warmup_instructions,
+        seed_offset=spec.trace_seed,
     )
-    result = pipeline.run(trace, reset_stats_at=warmup_instructions)
+    result = pipeline.run(trace, reset_stats_at=spec.warmup_instructions)
     vulnerability = monitor.finish(result.cycles) if monitor else None
 
     params = EnergyParams.from_geometries(
@@ -159,7 +299,11 @@ def run_experiment(
         energy=energy_of(hierarchy.stats, params, cycles=result.cycles),
         write_buffer_stalls=hierarchy.stats.write_buffer_stall_cycles,
         vulnerability=vulnerability,
-        l1i=hierarchy.l1i.stats.snapshot() if icache_error_rate > 0.0 else None,
+        l1i=(
+            hierarchy.l1i.stats.snapshot()
+            if spec.icache_error_rate > 0.0
+            else None
+        ),
     )
 
 
@@ -174,13 +318,14 @@ def run_schemes(
     """Run several schemes on the same benchmark trace (paired comparison)."""
     results = {}
     for scheme in schemes:
-        result = run_experiment(
+        spec = ExperimentSpec.from_kwargs(
             benchmark,
             scheme,
             n_instructions=n_instructions,
             machine=machine,
             **scheme_kwargs,
         )
+        result = _run_spec(spec)
         results[result.scheme] = result
     return results
 

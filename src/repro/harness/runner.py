@@ -29,7 +29,8 @@ from typing import Optional, Sequence, Union
 
 from repro.core.config import ICRConfig
 from repro.harness.cache import ResultCache, UncacheableJobError, job_key
-from repro.harness.experiment import SimulationResult, run_experiment
+from repro.harness.experiment import SimulationResult, _run_spec
+from repro.harness.spec import ExperimentSpec
 from repro.workloads.generator import WorkloadProfile
 
 
@@ -40,6 +41,17 @@ class Job:
     benchmark: Union[str, WorkloadProfile]
     scheme: Union[str, ICRConfig]
     kwargs: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_spec(cls, spec: ExperimentSpec) -> "Job":
+        """A job whose cache key is the spec's content hash."""
+        return cls(spec.benchmark, spec.scheme, spec.run_kwargs())
+
+    def spec(self) -> ExperimentSpec:
+        """The :class:`ExperimentSpec` this job executes."""
+        return ExperimentSpec.from_kwargs(
+            self.benchmark, self.scheme, **self.kwargs
+        )
 
     @property
     def label(self) -> str:
@@ -103,16 +115,23 @@ class RunnerStats:
 
 def _run_with_timeout(job: Job, timeout: Optional[float]) -> SimulationResult:
     """Execute *job*, bounded by an interval timer where the OS has one."""
+    spec = job.spec()
     if not timeout or not hasattr(signal, "SIGALRM"):
-        return run_experiment(job.benchmark, job.scheme, **job.kwargs)
+        return _run_spec(spec)
 
     def _expired(signum, frame):
         raise JobTimeoutError(f"job {job.label} exceeded {timeout}s")
 
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    # Re-arm the timer rather than firing once: if the first SIGALRM
+    # lands while the interpreter is inside a GC callback (or any other
+    # frame that swallows exceptions raised by signal handlers), a
+    # one-shot alarm is silently lost and the job runs unbounded.  With
+    # a repeat interval the next alarm fires from a normal frame and
+    # the timeout still lands.
+    signal.setitimer(signal.ITIMER_REAL, timeout, min(timeout, 0.05))
     try:
-        return run_experiment(job.benchmark, job.scheme, **job.kwargs)
+        return _run_spec(spec)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
@@ -173,9 +192,18 @@ class ParallelRunner:
 
     # -- single-job path (also the figures execution context) ------------
 
-    def run_one(self, benchmark, scheme, **kwargs) -> SimulationResult:
-        """Run one experiment in-process, through memo and disk cache."""
-        job = Job(benchmark, scheme, kwargs)
+    def run_one(self, benchmark, scheme=None, **kwargs) -> SimulationResult:
+        """Run one experiment in-process, through memo and disk cache.
+
+        Accepts either an :class:`ExperimentSpec` as the sole argument
+        or the legacy ``(benchmark, scheme, **kwargs)`` form.
+        """
+        if isinstance(benchmark, ExperimentSpec):
+            if scheme is not None or kwargs:
+                raise TypeError("run_one(spec) takes no further arguments")
+            job = Job.from_spec(benchmark)
+        else:
+            job = Job(benchmark, scheme, kwargs)
         self.stats.jobs += 1
         started = time.monotonic()
         try:
@@ -192,8 +220,20 @@ class ParallelRunner:
 
     # -- batch path -------------------------------------------------------
 
-    def run(self, jobs: Sequence[Job]) -> list[SimulationResult]:
-        """Run a batch of jobs, returning results in input order."""
+    def run(
+        self, jobs: Sequence[Job], *, on_error: str = "raise"
+    ) -> list[SimulationResult]:
+        """Run a batch of jobs, returning results in input order.
+
+        *on_error* controls what happens when a job fails its attempt
+        *and* its retries: ``"raise"`` (default) propagates the
+        :class:`RunnerError`; ``"return"`` places the error object in
+        the result list at the job's position and keeps going — the
+        campaign engine uses this so one pathological trial degrades a
+        cell instead of aborting the whole campaign.
+        """
+        if on_error not in ("raise", "return"):
+            raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
         jobs = list(jobs)
         self.stats.jobs += len(jobs)
         started = time.monotonic()
@@ -201,6 +241,7 @@ class ParallelRunner:
         pending: list[tuple[int, Job, Optional[str]]] = []
         scheduled: set[str] = set()
         duplicates: list[tuple[int, str]] = []
+        failed: dict[str, RunnerError] = {}
         try:
             for index, job in enumerate(jobs):
                 key = job.key()
@@ -223,14 +264,26 @@ class ParallelRunner:
             if pending:
                 if self.jobs <= 1 or len(pending) == 1:
                     for index, job, key in pending:
-                        results[index] = self._execute_with_retry(job, key)
+                        try:
+                            results[index] = self._execute_with_retry(job, key)
+                        except RunnerError as error:
+                            if on_error == "raise":
+                                raise
+                            results[index] = error
+                            if key is not None:
+                                failed[key] = error
                         self.stats.completed += 1
                         self._tick()
                 else:
-                    self._run_pool(pending, results)
+                    self._run_pool(pending, results, on_error, failed)
             for index, key in duplicates:
-                results[index] = self._memo[key]
-                self.stats.cache_hits += 1
+                hit = self._memo.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    self.stats.cache_hits += 1
+                else:
+                    # The job this duplicated failed (on_error="return").
+                    results[index] = failed[key]
                 self.stats.completed += 1
                 self._tick()
         finally:
@@ -293,6 +346,8 @@ class ParallelRunner:
         self,
         pending: list[tuple[int, Job, Optional[str]]],
         results: list[Optional[SimulationResult]],
+        on_error: str = "raise",
+        failed: Optional[dict[str, "RunnerError"]] = None,
     ) -> None:
         workers = min(self.jobs, len(pending))
         needs_retry: list[tuple[int, Job, Optional[str], str]] = []
@@ -334,9 +389,17 @@ class ParallelRunner:
                 result = _run_with_timeout(job, self.timeout)
             except Exception:
                 self.stats.failures += 1
-                raise RunnerError(
+                runner_error = RunnerError(
                     job, f"pool attempt: {error}\nretry: {traceback.format_exc()}"
-                ) from None
+                )
+                if on_error == "raise":
+                    raise runner_error from None
+                results[index] = runner_error
+                if failed is not None and key is not None:
+                    failed[key] = runner_error
+                self.stats.completed += 1
+                self._tick()
+                continue
             self.stats.simulated += 1
             self.stats.completed += 1
             self._store(key, result)

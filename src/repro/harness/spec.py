@@ -1,0 +1,179 @@
+"""The experiment specification: one frozen value = one simulation.
+
+Historically :func:`repro.harness.experiment.run_experiment` grew a long
+keyword tail (error rate, error model, seeds, scrubbing, warm-up, iL1
+injection, plus free-form scheme kwargs).  :class:`ExperimentSpec`
+replaces that sprawl with a single frozen dataclass:
+
+* every run parameter is a field with the same default the keyword form
+  used, so a spec built with no arguments reproduces a bare
+  ``run_experiment(benchmark, scheme)`` call bit-for-bit;
+* free-form scheme kwargs (``decay_window``, ``victim_policy``, ...) are
+  normalized into a sorted tuple of ``(name, value)`` pairs, making two
+  specs that mean the same run compare (and hash) equal;
+* :meth:`ExperimentSpec.key` is the content-addressed cache key — the
+  same key the :class:`~repro.harness.runner.ParallelRunner` uses — so
+  campaign trials, sweeps and ad-hoc runs all share one cache identity;
+* :meth:`ExperimentSpec.replace` derives variants (a new ``error_seed``
+  per Monte Carlo trial, a new ``trace_seed`` per statistics run)
+  without mutating anything.
+
+``run_experiment(spec)`` is the primary entry point; the old keyword
+form survives as a thin deprecated shim that builds a spec via
+:meth:`ExperimentSpec.from_kwargs`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.config import ICRConfig
+from repro.cpu.pipeline import PipelineConfig
+from repro.workloads.generator import WorkloadProfile
+
+#: Default trace length.  The paper runs 500M instructions on SimpleScalar;
+#: a pure-Python model uses shorter traces, long past dL1 warm-up (the
+#: convergence test in tests/test_integration_convergence.py verifies the
+#: metrics are stable at this scale).
+DEFAULT_INSTRUCTIONS = 200_000
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full Table 1 machine around the dL1 under study."""
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    parity_fraction: float = 0.15
+    ecc_fraction: float = 0.30
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything one :func:`run_experiment` call depends on.
+
+    *benchmark* is a benchmark name or a full
+    :class:`~repro.workloads.generator.WorkloadProfile`; *scheme* is a
+    scheme name (see :mod:`repro.core.schemes`) or a prebuilt
+    :class:`~repro.core.config.ICRConfig`.  *scheme_kwargs* holds the
+    extra keyword arguments forwarded to
+    :func:`repro.core.schemes.make_config` when *scheme* is a name; pass
+    a mapping — it is canonicalized to a sorted tuple of pairs.
+    """
+
+    benchmark: Union[str, WorkloadProfile]
+    scheme: Union[str, ICRConfig]
+    n_instructions: int = DEFAULT_INSTRUCTIONS
+    machine: Optional[MachineConfig] = None
+    error_rate: float = 0.0
+    error_model: str = "random"
+    error_seed: int = 12345
+    measure_vulnerability: bool = False
+    scrub_period: Optional[int] = None
+    trace_seed: int = 0
+    warmup_instructions: int = 0
+    icache_error_rate: float = 0.0
+    scheme_kwargs: tuple = ()
+
+    def __post_init__(self):
+        kwargs = self.scheme_kwargs
+        if isinstance(kwargs, Mapping):
+            items = kwargs.items()
+        else:
+            items = tuple(kwargs)
+        normalized = tuple(sorted((str(k), _freeze(v)) for k, v in items))
+        object.__setattr__(self, "scheme_kwargs", normalized)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_kwargs(
+        cls,
+        benchmark: Union[str, WorkloadProfile],
+        scheme: Union[str, ICRConfig],
+        **kwargs: Any,
+    ) -> "ExperimentSpec":
+        """Build a spec from the legacy ``run_experiment`` keyword form.
+
+        Keywords matching a spec field set that field; everything else is
+        collected into :attr:`scheme_kwargs`.
+        """
+        known = {}
+        scheme_kwargs = {}
+        for name, value in kwargs.items():
+            if name in _SPEC_FIELDS:
+                known[name] = value
+            else:
+                scheme_kwargs[name] = value
+        return cls(benchmark, scheme, scheme_kwargs=scheme_kwargs, **known)
+
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        """A copy of this spec with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def with_seed(self, error_seed: int) -> "ExperimentSpec":
+        """The same experiment under a different fault-injection seed."""
+        return self.replace(error_seed=error_seed)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def benchmark_name(self) -> str:
+        return (
+            self.benchmark
+            if isinstance(self.benchmark, str)
+            else self.benchmark.name
+        )
+
+    @property
+    def scheme_name(self) -> str:
+        return self.scheme if isinstance(self.scheme, str) else self.scheme.name
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark_name}/{self.scheme_name}"
+
+    def run_kwargs(self) -> dict[str, Any]:
+        """The keyword dict equivalent of this spec (scheme kwargs splatted).
+
+        ``ExperimentSpec.from_kwargs(spec.benchmark, spec.scheme,
+        **spec.run_kwargs()) == spec`` for every spec, which is what keeps
+        the spec path and the legacy keyword path cache-key identical.
+        """
+        out: dict[str, Any] = {
+            name: getattr(self, name) for name in _SPEC_FIELDS
+        }
+        out.update(dict(self.scheme_kwargs))
+        return out
+
+    def key(self) -> str:
+        """Content-addressed cache key (see :mod:`repro.harness.cache`)."""
+        from repro.harness.cache import job_key
+
+        return job_key(self.benchmark, self.scheme, self.run_kwargs())
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively turn lists into tuples so spec fields stay hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+#: Run-parameter fields of the spec (everything except the identity pair
+#: and the free-form scheme kwargs).  Also the single source of truth for
+#: the keyword defaults the cache normalizes omitted arguments against.
+_SPEC_FIELDS: tuple[str, ...] = tuple(
+    f.name
+    for f in dataclasses.fields(ExperimentSpec)
+    if f.name not in ("benchmark", "scheme", "scheme_kwargs")
+)
+
+RUN_DEFAULTS: dict[str, Any] = {
+    f.name: f.default
+    for f in dataclasses.fields(ExperimentSpec)
+    if f.name in _SPEC_FIELDS
+}

@@ -10,10 +10,12 @@ difference is real or workload noise.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
-from repro.harness.experiment import DEFAULT_INSTRUCTIONS, run_experiment
+from repro.harness.experiment import DEFAULT_INSTRUCTIONS, _run_spec
+from repro.harness.spec import ExperimentSpec
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,75 @@ def summarize(values: Sequence[float]) -> MetricSummary:
         var = 0.0
     return MetricSummary(
         mean=mean, std=math.sqrt(var), minimum=min(values), maximum=max(values), n=n
+    )
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """Percentile-bootstrap confidence interval for a sample statistic.
+
+    Produced by :func:`bootstrap_ci`; the interval is deterministic for
+    a fixed *(values, seed)* pair, which is what lets a resumed fault-
+    injection campaign reproduce its report byte-for-byte.
+    """
+
+    mean: float
+    lo: float
+    hi: float
+    n: int
+    level: float
+    resamples: int
+
+    @property
+    def half_width(self) -> float:
+        """Half the CI width — the campaign's adaptive-stopping signal."""
+        return (self.hi - self.lo) / 2.0
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    level: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+    statistic: Optional[Callable[[Sequence[float]], float]] = None,
+) -> BootstrapCI:
+    """Percentile bootstrap CI of *statistic* (default: the mean).
+
+    Resampling uses ``random.Random(seed)``, so the interval is a pure
+    function of the sample and the seed.  With one observation the
+    interval degenerates to the point estimate.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < level < 1.0:
+        raise ValueError("confidence level must be in (0, 1)")
+    stat = statistic or (lambda xs: sum(xs) / len(xs))
+    values = list(values)
+    n = len(values)
+    point = stat(values)
+    if n == 1:
+        return BootstrapCI(
+            mean=point, lo=point, hi=point, n=1, level=level,
+            resamples=n_resamples,
+        )
+    rng = random.Random(seed)
+    replicates = sorted(
+        stat([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(n_resamples)
+    )
+    alpha = (1.0 - level) / 2.0
+    lo_index = min(n_resamples - 1, max(0, int(math.floor(alpha * n_resamples))))
+    hi_index = min(
+        n_resamples - 1, max(0, int(math.ceil((1.0 - alpha) * n_resamples)) - 1)
+    )
+    return BootstrapCI(
+        mean=point,
+        lo=replicates[lo_index],
+        hi=replicates[hi_index],
+        n=n,
+        level=level,
+        resamples=n_resamples,
     )
 
 
@@ -90,14 +161,11 @@ def run_with_seeds(
     seeds = tuple(range(n_seeds))
     samples: dict[str, list[float]] = {m: [] for m in metrics}
     scheme_name = benchmark_name = None
+    base = ExperimentSpec.from_kwargs(
+        benchmark, scheme, n_instructions=n_instructions, **kwargs
+    )
     for seed in seeds:
-        result = run_experiment(
-            benchmark,
-            scheme,
-            n_instructions=n_instructions,
-            trace_seed=seed,
-            **kwargs,
-        )
+        result = _run_spec(base.replace(trace_seed=seed))
         scheme_name = result.scheme
         benchmark_name = result.benchmark
         for metric in metrics:

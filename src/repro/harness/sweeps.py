@@ -11,13 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
-from repro.harness.experiment import (
-    DEFAULT_INSTRUCTIONS,
-    MachineConfig,
-    SimulationResult,
-)
+from repro.harness.experiment import SimulationResult
 from repro.harness.report import format_table
 from repro.harness.runner import Job, ParallelRunner
+from repro.harness.spec import DEFAULT_INSTRUCTIONS, ExperimentSpec, MachineConfig
 
 
 @dataclass
@@ -84,20 +81,14 @@ def sweep(
         for label, kwargs in points:
             merged: dict[str, Any] = dict(base_kwargs or {})
             merged.update(kwargs)
-            grid.append(
-                (
-                    (bench, str(label)),
-                    Job(
-                        bench,
-                        scheme,
-                        dict(
-                            n_instructions=n_instructions,
-                            machine=machine,
-                            **merged,
-                        ),
-                    ),
-                )
+            spec = ExperimentSpec.from_kwargs(
+                bench,
+                scheme,
+                n_instructions=n_instructions,
+                machine=machine,
+                **merged,
             )
+            grid.append(((bench, str(label)), Job.from_spec(spec)))
     for (key, _), result in zip(grid, engine.run([job for _, job in grid])):
         out.results[key] = result
     return out
@@ -131,16 +122,14 @@ def scheme_sweep(
     for bench in benchmarks:
         for scheme in schemes:
             extra = scheme_kwargs(scheme) if scheme_kwargs else {}
-            grid.append(
-                (
-                    (bench, scheme),
-                    Job(
-                        bench,
-                        scheme,
-                        dict(n_instructions=n_instructions, **extra, **kwargs),
-                    ),
-                )
+            spec = ExperimentSpec.from_kwargs(
+                bench,
+                scheme,
+                n_instructions=n_instructions,
+                **extra,
+                **kwargs,
             )
+            grid.append(((bench, scheme), Job.from_spec(spec)))
     for (key, _), result in zip(grid, engine.run([job for _, job in grid])):
         out.results[key] = result
     return out

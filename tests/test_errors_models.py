@@ -24,8 +24,8 @@ def tracked_cache(n_blocks=32):
 
 
 class TestFactory:
-    def test_all_four_models_constructible(self):
-        assert set(MODELS) == {"random", "direct", "adjacent", "column"}
+    def test_all_models_constructible(self):
+        assert set(MODELS) == {"random", "direct", "adjacent", "column", "burst"}
         for name in MODELS:
             assert make_model(name).name == name
 

@@ -1,0 +1,153 @@
+"""Tests for the ExperimentSpec API and the SimulationResult round-trip.
+
+The load-bearing properties:
+
+* the spec form and the legacy keyword form of :func:`run_experiment`
+  produce bit-identical results and share one cache identity, so the
+  keyword shim can be removed without invalidating anyone's cache;
+* ``SimulationResult.to_dict`` / ``from_dict`` is a lossless JSON-safe
+  round-trip — it is the one serialization used by the result cache,
+  campaign checkpoints and JSONL trial logs.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cache import job_key
+from repro.harness.experiment import SimulationResult, run_experiment
+from repro.harness.spec import RUN_DEFAULTS, ExperimentSpec
+
+N = 4_000
+
+
+class TestSpecConstruction:
+    def test_scheme_kwargs_canonicalized(self):
+        a = ExperimentSpec(
+            "gzip", "ICR-P-PS(S)",
+            scheme_kwargs={"decay_window": 1000, "replicate_into_invalid": True},
+        )
+        b = ExperimentSpec(
+            "gzip", "ICR-P-PS(S)",
+            scheme_kwargs=(
+                ("replicate_into_invalid", True), ("decay_window", 1000),
+            ),
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_list_values_frozen_hashable(self):
+        spec = ExperimentSpec(
+            "gzip", "ICR-P-PS(S)", scheme_kwargs={"distances": [1, 2, 4]}
+        )
+        assert dict(spec.scheme_kwargs)["distances"] == (1, 2, 4)
+        hash(spec)  # must not raise
+
+    def test_from_kwargs_splits_fields(self):
+        spec = ExperimentSpec.from_kwargs(
+            "gzip", "ICR-P-PS(S)", n_instructions=N, decay_window=1000
+        )
+        assert spec.n_instructions == N
+        assert dict(spec.scheme_kwargs) == {"decay_window": 1000}
+
+    def test_run_kwargs_round_trip(self):
+        spec = ExperimentSpec.from_kwargs(
+            "vpr", "ICR-P-PS(LS)",
+            n_instructions=N, error_rate=0.01, error_seed=7, decay_window=500,
+        )
+        again = ExperimentSpec.from_kwargs(
+            spec.benchmark, spec.scheme, **spec.run_kwargs()
+        )
+        assert again == spec
+
+    def test_replace_and_with_seed(self):
+        spec = ExperimentSpec("gzip", "BaseP")
+        assert spec.with_seed(99).error_seed == 99
+        assert spec.with_seed(99).replace(error_seed=spec.error_seed) == spec
+
+    def test_defaults_are_the_cache_defaults(self):
+        # RUN_DEFAULTS (what the cache normalizes omitted kwargs against)
+        # must be exactly the spec's own field defaults.
+        spec = ExperimentSpec("gzip", "BaseP")
+        for name, default in RUN_DEFAULTS.items():
+            assert getattr(spec, name) == default
+
+    def test_label_and_names(self):
+        spec = ExperimentSpec("gzip", "ICR-P-PS(S)")
+        assert spec.benchmark_name == "gzip"
+        assert spec.scheme_name == "ICR-P-PS(S)"
+        assert spec.label == "gzip/ICR-P-PS(S)"
+
+
+class TestCacheKeyIdentity:
+    def test_key_matches_job_key(self):
+        spec = ExperimentSpec.from_kwargs(
+            "gzip", "ICR-P-PS(S)", n_instructions=N, decay_window=1000
+        )
+        assert spec.key() == job_key(spec.benchmark, spec.scheme, spec.run_kwargs())
+
+    def test_explicit_defaults_do_not_change_the_key(self):
+        bare = ExperimentSpec("gzip", "BaseP", n_instructions=N)
+        explicit = ExperimentSpec.from_kwargs(
+            "gzip", "BaseP",
+            n_instructions=N, error_rate=0.0, error_seed=12345, trace_seed=0,
+        )
+        assert explicit.key() == bare.key()
+
+    def test_different_seeds_different_keys(self):
+        spec = ExperimentSpec("gzip", "BaseP", error_rate=0.01)
+        assert spec.key() != spec.with_seed(7).key()
+
+
+class TestRunExperimentForms:
+    def test_keyword_form_deprecated_but_identical(self):
+        spec = ExperimentSpec("gzip", "ICR-P-PS(S)", n_instructions=N)
+        via_spec = run_experiment(spec)
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=N)
+        assert via_spec == via_kwargs
+
+    def test_spec_form_rejects_extra_arguments(self):
+        spec = ExperimentSpec("gzip", "BaseP", n_instructions=N)
+        with pytest.raises(TypeError, match="replace"):
+            run_experiment(spec, "BaseP")
+        with pytest.raises(TypeError, match="replace"):
+            run_experiment(spec, n_instructions=N)
+
+    def test_missing_scheme_rejected(self):
+        with pytest.raises(TypeError):
+            run_experiment("gzip")
+
+
+class TestResultRoundTrip:
+    def _round_trip(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        return SimulationResult.from_dict(payload)
+
+    def test_plain_run(self):
+        result = run_experiment(ExperimentSpec("gzip", "BaseP", n_instructions=N))
+        assert self._round_trip(result) == result
+
+    def test_full_payload_run(self):
+        # Exercise the optional fields: vulnerability report + iL1 stats.
+        spec = ExperimentSpec(
+            "gzip", "ICR-P-PS(S)",
+            n_instructions=N,
+            error_rate=0.01,
+            icache_error_rate=0.001,
+            measure_vulnerability=True,
+        )
+        result = run_experiment(spec)
+        assert result.vulnerability is not None
+        assert result.l1i is not None
+        back = self._round_trip(result)
+        assert back == result
+        assert back.vulnerability == result.vulnerability
+        assert back.l1i == result.l1i
+
+    def test_unknown_format_rejected(self):
+        result = run_experiment(ExperimentSpec("gzip", "BaseP", n_instructions=N))
+        payload = result.to_dict()
+        payload["format"] = 999
+        with pytest.raises(ValueError, match="format"):
+            SimulationResult.from_dict(payload)
