@@ -13,7 +13,6 @@ from repro.harness.figures import ablation_pipeline
 
 from repro.cpu.pipeline import PipelineConfig
 from repro.harness.experiment import MachineConfig, run_experiment
-from repro.harness.figures import FigureResult
 
 
 def _ecc_ratio(n, **pipe_kwargs):

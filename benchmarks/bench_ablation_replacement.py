@@ -9,8 +9,6 @@ from conftest import run_once
 
 from repro.harness.figures import ablation_replacement
 
-from repro.harness.experiment import run_experiment
-from repro.harness.figures import FigureResult
 
 
 

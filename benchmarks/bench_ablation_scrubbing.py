@@ -9,8 +9,6 @@ from conftest import run_once
 
 from repro.harness.figures import ablation_scrubbing
 
-from repro.harness.experiment import run_experiment
-from repro.harness.figures import FigureResult
 
 RATE = 5e-2  # intense, to make accumulation visible in a short run
 

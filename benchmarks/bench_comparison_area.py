@@ -9,9 +9,6 @@ from conftest import run_once
 
 from repro.harness.figures import comparison_area
 
-from repro.cache.set_assoc import CacheGeometry
-from repro.energy.area import compare_reliability_areas
-from repro.harness.figures import FigureResult
 
 
 

@@ -4,18 +4,20 @@ The paper's Section 5.2: "hot data items are getting automatically
 replicated (we do not need a separate cache for achieving this compared
 to that needed by [11])".  This bench measures both sides: duplicate
 coverage of a 2KB dedicated side cache vs ICR's in-cache replicas.
+
+The R-Cache side runs through the registered ``rcache`` scheme (the
+figure resolves it via the registry like any other scheme);
+``test_rcache_registry_matches_standalone`` pins that path to the
+standalone :func:`~repro.baselines.rcache.run_rcache_baseline` loop
+exactly, so the figure's numbers are the baseline's numbers.
 """
 
 from conftest import run_once
 
-from repro.harness.figures import comparison_rcache
-
 from repro.baselines.rcache import run_rcache_baseline
 from repro.harness.experiment import run_experiment
-from repro.harness.figures import FigureResult
-from repro.workloads.spec2000 import BENCHMARKS
-
-
+from repro.harness.figures import comparison_rcache
+from repro.harness.spec import ExperimentSpec
 
 
 def test_comparison_rcache(benchmark, record, n_instructions):
@@ -27,3 +29,14 @@ def test_comparison_rcache(benchmark, record, n_instructions):
     # Same league: ICR within 2x either way of the dedicated cache, at
     # zero dedicated area.
     assert icr > 0.4 * rcache
+
+
+def test_rcache_registry_matches_standalone(n_instructions):
+    for bench in ("gzip", "mcf"):
+        standalone = run_rcache_baseline(bench, n_instructions=n_instructions)
+        via_registry = run_experiment(
+            ExperimentSpec(bench, "rcache", n_instructions=n_instructions)
+        )
+        assert (
+            via_registry.loads_with_replica == standalone.loads_with_duplicate
+        ), bench

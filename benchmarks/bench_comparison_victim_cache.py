@@ -4,18 +4,19 @@ Section 5.6 says leaving replicas behind "can thus make the cache appear
 to have higher associativity sometimes [18]".  The classical alternative
 is a dedicated fully-associative victim cache; this bench compares the
 speedups over BaseP side by side.
+
+The victim-cache side runs through the registered ``victim-cache``
+scheme; ``test_victim_cache_registry_matches_standalone`` pins that
+path cycle-for-cycle to the standalone
+:func:`~repro.baselines.victim_cache.run_victim_cache_baseline` runner.
 """
 
 from conftest import run_once
 
-from repro.harness.figures import comparison_victim_cache
-
 from repro.baselines.victim_cache import run_victim_cache_baseline
 from repro.harness.experiment import run_experiment
-from repro.harness.figures import RELAXED, FigureResult
-from repro.workloads.spec2000 import BENCHMARKS
-
-
+from repro.harness.figures import comparison_victim_cache
+from repro.harness.spec import ExperimentSpec
 
 
 def test_comparison_victim_cache(benchmark, record, n_instructions):
@@ -27,3 +28,15 @@ def test_comparison_victim_cache(benchmark, record, n_instructions):
     # structure within a couple percent without its area.
     assert vc <= 1.01 and icr <= 1.02
     assert abs(icr - vc) < 0.05
+
+
+def test_victim_cache_registry_matches_standalone(n_instructions):
+    for bench in ("gzip", "mcf"):
+        standalone = run_victim_cache_baseline(
+            bench, n_instructions=n_instructions
+        )
+        via_registry = run_experiment(
+            ExperimentSpec(bench, "victim-cache", n_instructions=n_instructions)
+        )
+        assert via_registry.cycles == standalone.cycles, bench
+        assert via_registry.miss_rate == standalone.miss_rate, bench

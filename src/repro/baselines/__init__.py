@@ -2,12 +2,14 @@
 
 from repro.baselines.rcache import (
     RCache,
+    RCacheDL1,
     RCacheResult,
     RCacheStats,
     run_rcache_baseline,
 )
 from repro.baselines.victim_cache import (
     VictimCache,
+    VictimCacheDL1,
     VictimCacheResult,
     VictimCacheStats,
     run_victim_cache_baseline,
@@ -15,10 +17,12 @@ from repro.baselines.victim_cache import (
 
 __all__ = [
     "RCache",
+    "RCacheDL1",
     "RCacheResult",
     "RCacheStats",
     "run_rcache_baseline",
     "VictimCache",
+    "VictimCacheDL1",
     "VictimCacheResult",
     "VictimCacheStats",
     "run_victim_cache_baseline",

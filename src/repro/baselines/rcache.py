@@ -24,6 +24,7 @@ See ``benchmarks/bench_comparison_rcache.py`` for the head-to-head.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cache.set_assoc import CacheGeometry
 
@@ -81,6 +82,66 @@ class RCache:
 
     def occupancy(self) -> int:
         return len(self._store)
+
+
+class RCacheDL1:
+    """A plain parity dL1 with an R-Cache beside it, as a registry scheme.
+
+    Implements the hierarchy's DataL1 protocol so the full Table 1
+    machine — and therefore :class:`~repro.harness.spec.ExperimentSpec`,
+    the sweeps and the fault-injection campaigns — can drive the Kim &
+    Somani baseline like any other scheme (registered as ``rcache``).
+
+    Metric mapping onto the standard ``SimulationResult`` fields:
+
+    * a dL1 load hit whose block has a live duplicate bumps
+      ``load_hits_with_replica``, so ``loads_with_replica`` *is* the
+      duplicate coverage (the analogue of ICR's loads-with-replica);
+    * every duplicate-store write is charged as an extra dL1
+      ``array_writes`` event, so the energy totals carry the side
+      array's write traffic (its leakage/area is the cost ICR avoids).
+
+    Fault injection, scrubbing and vulnerability monitoring attach to
+    the inner parity dL1 (``injection_target``); the duplicate store
+    itself is modeled error-free.
+    """
+
+    def __init__(
+        self,
+        rcache_bytes: int = 2 * 1024,
+        *,
+        geometry: Optional[CacheGeometry] = None,
+        track_data: bool = False,
+    ):
+        from repro.core.config import variant
+        from repro.core.icr_cache import ICRCache
+        from repro.core.schemes import make_config
+
+        inner_config = make_config(
+            "BaseP", geometry=geometry, track_data=track_data
+        )
+        self._dl1 = ICRCache(inner_config)
+        self.config = variant(inner_config, name="rcache")
+        self.rcache = RCache(rcache_bytes, self._dl1.geometry.block_size)
+        self.geometry = self._dl1.geometry
+        self.stats = self._dl1.stats
+        self.write_policy = self._dl1.write_policy
+        self.injection_target = self._dl1
+        self._block_shift = self.geometry.block_offset_bits
+
+    def set_evict_hook(self, hook) -> None:
+        self._dl1.set_evict_hook(hook)
+
+    def access(self, addr: int, is_write: bool, now: int):
+        outcome = self._dl1.access(addr, is_write, now)
+        block_addr = addr >> self._block_shift
+        if is_write:
+            # Covered stores write the duplicate store too.
+            self.rcache.insert(block_addr)
+            self.stats.array_writes += 1
+        elif outcome.hit and self.rcache.holds(block_addr):
+            self.stats.load_hits_with_replica += 1
+        return outcome
 
 
 @dataclass

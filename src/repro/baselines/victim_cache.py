@@ -17,9 +17,10 @@ how many dL1 misses does each structure catch, and at what area cost?
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
-from repro.core.schemes import make_cache
+from repro.cache.set_assoc import CacheGeometry
 from repro.cpu.pipeline import OutOfOrderPipeline
 from repro.workloads.generator import trace_for
 from repro.workloads.spec2000 import profile_for
@@ -67,19 +68,46 @@ class VictimCache:
         return True, entry[1]
 
 
-class _VictimCacheDL1:
+class VictimCacheDL1:
     """A plain parity dL1 with a victim cache bolted onto its miss path.
 
-    Implements the hierarchy's DataL1 protocol so it can drive the same
-    Table 1 machine as every other scheme.
+    Implements the hierarchy's DataL1 protocol so the full Table 1
+    machine — and therefore :class:`~repro.harness.spec.ExperimentSpec`,
+    the sweeps and the fault-injection campaigns — can drive the Jouppi
+    baseline like any other scheme (registered as ``victim-cache``).
+
+    Metric mapping onto the standard ``SimulationResult`` fields: a dL1
+    miss served by a victim-cache swap-back bumps ``replica_fills``,
+    the same counter ICR's Section 5.6 leftover-replica fills use (both
+    cost the same 2 cycles).
+
+    Fault injection, scrubbing and vulnerability monitoring attach to
+    the inner parity dL1 (``injection_target``); the victim cache
+    itself is modeled error-free, so a swapped-back line returns with
+    golden contents.
     """
 
-    def __init__(self, entries: int):
-        self._dl1 = make_cache("BaseP")
+    def __init__(
+        self,
+        entries: int = 16,
+        *,
+        geometry: Optional[CacheGeometry] = None,
+        track_data: bool = False,
+    ):
+        from repro.core.config import variant
+        from repro.core.icr_cache import ICRCache
+        from repro.core.schemes import make_config
+
+        inner_config = make_config(
+            "BaseP", geometry=geometry, track_data=track_data
+        )
+        self._dl1 = ICRCache(inner_config)
+        self.config = variant(inner_config, name="victim-cache")
         self.victim_cache = VictimCache(entries)
         self.geometry = self._dl1.geometry
         self.stats = self._dl1.stats
         self.write_policy = "writeback"
+        self.injection_target = self._dl1
         self._dl1.set_evict_hook(self._on_evict)
         self._outer_hook = None
         self._swap_fill = False
@@ -113,7 +141,12 @@ class _VictimCacheDL1:
         block = self._dl1.probe(block_addr)
         if block is not None and dirty:
             block.dirty = True
+        self.stats.replica_fills += 1
         return DL1Outcome(hit=False, latency=2, replica_fill=True)
+
+
+#: Backwards-compatible private alias (pre-registry name).
+_VictimCacheDL1 = VictimCacheDL1
 
 
 @dataclass
@@ -134,7 +167,7 @@ def run_victim_cache_baseline(
 ) -> VictimCacheResult:
     """BaseP + victim cache on the Table 1 machine."""
     profile = profile_for(benchmark) if isinstance(benchmark, str) else benchmark
-    dl1 = _VictimCacheDL1(entries)
+    dl1 = VictimCacheDL1(entries)
     hierarchy = MemoryHierarchy(dl1, HierarchyConfig())
     pipeline = OutOfOrderPipeline(hierarchy)
     result = pipeline.run(trace_for(profile, n_instructions))

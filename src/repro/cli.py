@@ -32,6 +32,11 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.config import VictimPolicy
+from repro.core.registry import (
+    normalize_scheme_name,
+    registered_schemes,
+    scheme_info,
+)
 from repro.core.schemes import ALL_SCHEMES
 from repro.errors.models import MODELS
 from repro.harness.cache import ResultCache
@@ -213,8 +218,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_list() -> int:
     print("benchmarks:", ", ".join(BENCHMARKS))
-    print("schemes   :", ", ".join(ALL_SCHEMES))
-    print("           plus: BaseECC-spec, BaseP-WT")
+    print("schemes   :")
+    for name in registered_schemes():
+        info = scheme_info(name)
+        print(f"  {name:<16} {info.description}")
     print("figures   :", ", ".join(sorted(ALL_FIGURES)))
     return 0
 
@@ -228,15 +235,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.leave_replicas:
         scheme_kwargs["leave_replicas_on_evict"] = True
     runner = _make_runner(args)
-    spec = ExperimentSpec(
-        benchmark=args.benchmark,
-        scheme=args.scheme,
-        n_instructions=args.instructions,
-        error_rate=args.error_rate,
-        error_model=args.error_model,
-        measure_vulnerability=args.vulnerability,
-        scheme_kwargs=scheme_kwargs,
-    )
+    try:
+        spec = ExperimentSpec(
+            benchmark=args.benchmark,
+            scheme=args.scheme,
+            n_instructions=args.instructions,
+            error_rate=args.error_rate,
+            error_model=args.error_model,
+            measure_vulnerability=args.vulnerability,
+            scheme_kwargs=scheme_kwargs,
+        )
+    except ValueError as exc:  # unknown scheme name, from the registry
+        print(str(exc), file=sys.stderr)
+        return 2
 
     def _simulate():
         return runner.run_one(spec)
@@ -282,7 +293,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             scheme,
             dict(
                 n_instructions=args.instructions,
-                **({} if scheme.startswith("Base") else knobs),
+                **(knobs if scheme_info(scheme).accepts_icr_knobs else {}),
             ),
         )
         for scheme in ALL_SCHEMES
@@ -325,7 +336,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    schemes = _split_flag(args.schemes)
+    try:
+        schemes = [normalize_scheme_name(s) for s in _split_flag(args.schemes)]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     error_rates = args.error_rate if args.error_rate is not None else [1e-2]
     config = CampaignConfig(
         benchmarks=tuple(benchmarks),

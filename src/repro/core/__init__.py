@@ -11,12 +11,27 @@ from repro.core.config import (
 )
 from repro.core.decay import SATURATION_TICKS, DeadBlockPredictor
 from repro.core.icr_cache import ICRCache
+from repro.core.policies import (
+    LookupPolicy,
+    ProtectionPolicy,
+    ReplicationPolicy,
+    VictimSelector,
+)
+from repro.core.registry import (
+    SchemeEntry,
+    SchemeInfo,
+    build_dl1,
+    registered_schemes,
+    scheme_entry,
+    scheme_info,
+)
 from repro.core.schemes import (
     ALL_SCHEMES,
     HEADLINE_SCHEMES,
     iter_configs,
     make_cache,
     make_config,
+    normalize_scheme_name,
 )
 from repro.core.victim import find_replica_victim
 
@@ -36,5 +51,16 @@ __all__ = [
     "iter_configs",
     "make_cache",
     "make_config",
+    "normalize_scheme_name",
     "find_replica_victim",
+    "LookupPolicy",
+    "ProtectionPolicy",
+    "ReplicationPolicy",
+    "VictimSelector",
+    "SchemeEntry",
+    "SchemeInfo",
+    "build_dl1",
+    "registered_schemes",
+    "scheme_entry",
+    "scheme_info",
 ]

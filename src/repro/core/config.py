@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 from repro.cache.set_assoc import CacheGeometry
 from repro.coding.protection import ProtectionKind

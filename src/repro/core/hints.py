@@ -22,7 +22,6 @@ Three directives, matching the three questions in the quote:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
 
 
 @dataclass(frozen=True)

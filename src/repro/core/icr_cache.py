@@ -34,9 +34,14 @@ from repro.cache.block import CacheBlock
 from repro.cache.hierarchy import DL1Outcome
 from repro.cache.set_assoc import Eviction, SetAssociativeCache
 from repro.coding.protection import ProtectionKind
-from repro.core.config import ICRConfig, LookupMode, ReplicationTrigger
+from repro.core.config import ICRConfig, ReplicationTrigger
 from repro.core.decay import DeadBlockPredictor
-from repro.core.victim import find_replica_victim
+from repro.core.policies import (
+    LookupPolicy,
+    ProtectionPolicy,
+    ReplicationPolicy,
+    VictimSelector,
+)
 
 
 class ICRCache(SetAssociativeCache):
@@ -54,19 +59,20 @@ class ICRCache(SetAssociativeCache):
         self.predictor = DeadBlockPredictor(config.decay_window)
         self.write_policy = config.write_policy
         self.words_per_block = config.geometry.block_size // 8
-        self._distances = config.resolved_distances()
-        # Second-replica placement falls back to Distance-N/4 (the paper's
-        # choice) when software hints request two replicas but the config
-        # did not set explicit second distances.
-        self._second_distances = config.resolved_second_distances() or (
-            config.geometry.n_sets // 4,
+        # -- composable policies --------------------------------------------
+        # Each design-space question of Section 3 is answered by one policy
+        # object (repro.core.policies); the cache executes their decisions.
+        self.protection_policy = ProtectionPolicy(config)
+        self.lookup_policy = LookupPolicy(config)
+        self.victim_selector = VictimSelector(
+            config.victim_policy, self.predictor, config.replicate_into_invalid
         )
-        self._all_distances = config.all_replica_distances()
-        if config.hints is not None:
-            # Hints may place second replicas at the fallback distance.
-            for d in self._second_distances:
-                if d not in self._all_distances:
-                    self._all_distances = self._all_distances + (d,)
+        self.replication_policy = ReplicationPolicy(
+            self, config, self.victim_selector, self.protection_policy
+        )
+        self._distances = self.replication_policy.distances
+        self._second_distances = self.replication_policy.second_distances
+        self._all_distances = self.replication_policy.all_distances
         self._evict_hook: Optional[Callable[[Eviction], None]] = None
         # Fault injection (attached by repro.errors.injector).
         self.injector = None
@@ -91,25 +97,30 @@ class ICRCache(SetAssociativeCache):
         self._distance_pos: dict[int, int] = {
             d: i for i, d in enumerate(self._all_distances)
         }
-        # Hoisted per-access constants: every config decision that is fixed
-        # for the cache's lifetime is resolved once here so the demand paths
-        # never chase config attribute chains or enum properties.
+        # Hoisted per-access constants: every per-lifetime decision the
+        # policy objects made is mirrored into a flat attribute here so the
+        # demand paths never chase config attribute chains, enum properties
+        # or policy indirections.
         self._word_mask = self.words_per_block - 1
-        self._lat_hit_replicated = config.load_hit_latency(replicated=True)
-        self._lat_hit_unreplicated = config.load_hit_latency(replicated=False)
+        self._lat_hit_replicated = self.protection_policy.load_hit_latency_replicated
+        self._lat_hit_unreplicated = (
+            self.protection_policy.load_hit_latency_unreplicated
+        )
         self._writeback = config.write_policy == "writeback"
-        self._prot_unrep = config.protection_for(replicated=False)
-        self._prot_rep = config.protection_for(replicated=True)
-        self._unrep_is_parity = self._prot_unrep is ProtectionKind.PARITY
+        self._prot_unrep = self.protection_policy.unreplicated
+        self._prot_rep = self.protection_policy.replicated
+        self._unrep_is_parity = self.protection_policy.unreplicated_is_parity
         self._track_data = config.track_data
-        self._trig_store = config.trigger.on_store
-        self._trig_fill = config.trigger.on_fill
+        self._trig_store = self.replication_policy.on_store
+        self._trig_fill = self.replication_policy.on_fill
         self._leave_replicas = config.leave_replicas_on_evict
-        self._replicates = config.replicates
-        self._hints = config.hints
-        self._parallel_lookup = config.lookup is LookupMode.PARALLEL
-        self._victim_policy = config.victim_policy
-        self._allow_invalid_victims = config.replicate_into_invalid
+        self._replicates = self.replication_policy.enabled
+        self._hints = self.replication_policy.hints
+        self._parallel_lookup = self.lookup_policy.parallel
+        self._victim_policy = self.victim_selector.policy
+        self._allow_invalid_victims = self.victim_selector.allow_invalid
+        # Bound-method mirror of the replication attempt entry point.
+        self._replicate = self.replication_policy.attempt
         # Outcomes are frozen dataclasses, so the constant-latency ones can
         # be allocated once and shared across accesses.
         self._out_store_hit = DL1Outcome(hit=True, latency=1)
@@ -264,16 +275,10 @@ class ICRCache(SetAssociativeCache):
     # ------------------------------------------------------------------
 
     def _count_check(self, kind: ProtectionKind) -> None:
-        if kind is ProtectionKind.PARITY:
-            self.stats.parity_checks += 1
-        else:
-            self.stats.ecc_checks += 1
+        self.protection_policy.count_check(self.stats, kind)
 
     def _count_generate(self, kind: ProtectionKind) -> None:
-        if kind is ProtectionKind.PARITY:
-            self.stats.parity_generates += 1
-        else:
-            self.stats.ecc_generates += 1
+        self.protection_policy.count_generate(self.stats, kind)
 
     # ------------------------------------------------------------------
     # demand access
@@ -427,7 +432,7 @@ class ICRCache(SetAssociativeCache):
             if replicated:
                 self._update_replicas(primary, word_index, now)
             elif self._trig_store:
-                self._attempt_replication(primary, now)
+                self._replicate(primary, now)
             return self._out_store_hit
 
         # Load hit.
@@ -440,9 +445,7 @@ class ICRCache(SetAssociativeCache):
         if replicated:
             stats.load_hits_with_replica += 1
             if self._parallel_lookup:
-                # PP: primary and replica are read and compared together.
-                stats.array_reads += 1
-                stats.parity_checks += 1
+                self.lookup_policy.charge_replicated_load_hit(stats)
             if self._track_data and primary.words is not None:
                 latency = self._lat_hit_replicated + self._verified_load(
                     primary, word_index, now
@@ -599,15 +602,11 @@ class ICRCache(SetAssociativeCache):
         if self._touch_tracked:
             self.replacement.on_touch(primary.set_index, primary.way)
 
-        replicate_at_fill = self._trig_fill
-        if not replicate_at_fill and self._hints is not None and self._replicates:
-            # Software "eager" hint: replicate this line at fill time even
-            # under the stores-only trigger.
-            replicate_at_fill = self._hints.replicate_on_fill(
-                block_addr, self.geometry.block_size
-            )
-        if replicate_at_fill:
-            self._attempt_replication(primary, now)
+        if self._trig_fill or (
+            self._hints is not None
+            and self.replication_policy.wants_fill_replica(block_addr)
+        ):
+            self._replicate(primary, now)
         if is_write:
             if self._writeback:
                 primary.dirty = True
@@ -625,7 +624,7 @@ class ICRCache(SetAssociativeCache):
             if primary.replica_refs:
                 self._update_replicas(primary, word_index, now)
             elif self._trig_store:
-                self._attempt_replication(primary, now)
+                self._replicate(primary, now)
         return self._out_miss
 
     # ------------------------------------------------------------------
@@ -633,88 +632,14 @@ class ICRCache(SetAssociativeCache):
     # ------------------------------------------------------------------
 
     def _attempt_replication(self, primary: CacheBlock, now: int) -> None:
-        """Try to give *primary* its replica(s) (Section 3.1).
-
-        Software hints (Section 6 future work) can exclude the line or
-        override how many replicas it gets.
-        """
-        if not self._replicates or primary.replica_refs:
-            return
-        wanted = self.config.max_replicas
-        hints = self._hints
-        if hints is not None:
-            block_size = self.geometry.block_size
-            if not hints.may_replicate(primary.block_addr, block_size):
-                return
-            wanted = hints.replica_count(
-                primary.block_addr, block_size, default=wanted
-            )
-            if wanted == 0:
-                return
-        self.stats.replication_attempts += 1
-        placed = self._place_replica(primary, self._distances, now)
-        if placed is None:
-            return
-        self.stats.replication_successes += 1
-        if wanted >= 2:
-            self.stats.second_replica_attempts += 1
-            second = self._place_replica(primary, self._second_distances, now)
-            if second is not None:
-                self.stats.second_replica_successes += 1
+        """Delegate to the replication policy (kept as the historic name)."""
+        self.replication_policy.attempt(primary, now)
 
     def _place_replica(
         self, primary: CacheBlock, distances: tuple[int, ...], now: int
     ) -> Optional[CacheBlock]:
-        """Walk candidate distances; install a replica at the first home."""
-        stats = self.stats
-        sets = self.sets
-        predictor = self.predictor
-        policy = self._victim_policy
-        allow_invalid = self._allow_invalid_victims
-        block_addr = primary.block_addr
-        home = block_addr & self._set_mask
-        n = self._set_mask + 1
-        for distance in distances:
-            target = (home + distance) % n
-            stats.tag_probes += 1
-            victim = find_replica_victim(
-                sets[target],
-                policy,
-                predictor,
-                now,
-                exclude_block=primary,
-                exclude_addr=block_addr,
-                allow_invalid=allow_invalid,
-            )
-            if victim is None:
-                continue
-            if victim.valid and not victim.is_replica:
-                if predictor.is_dead(victim, now):
-                    stats.dead_evictions += 1
-            self.evict(victim)
-            victim.fill(block_addr, now, is_replica=True)
-            victim.protection = ProtectionKind.PARITY
-            victim.primary_ref = primary
-            primary.replica_refs.append(victim)
-            self._index_replica(victim)
-            self.touch_lru(victim)
-            stats.array_writes += 1
-            stats.parity_generates += 1
-            if self._track_data:
-                victim.materialize_words(
-                    ProtectionKind.PARITY,
-                    [w.raw_data for w in primary.words]
-                    if primary.words is not None
-                    else list(self._golden_words(block_addr)),
-                )
-                victim.golden = list(primary.golden or victim.golden)
-            # Replicated lines are parity-protected for 1-cycle loads.
-            new_kind = self._prot_rep
-            if primary.protection is not new_kind:
-                primary.reprotect(new_kind)
-                self._count_generate(new_kind)
-            return victim
-        return None
+        """Delegate to the replication policy (kept as the historic name)."""
+        return self.replication_policy.place(primary, distances, now)
 
     # ------------------------------------------------------------------
     # verified loads (fault-injection runs)

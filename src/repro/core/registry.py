@@ -1,0 +1,281 @@
+"""Central scheme registry: one catalog behind every scheme consumer.
+
+Every simulatable dL1 scheme — the ten paper schemes of Section 3.2,
+the two extra baselines (``BaseECC-spec``, ``BaseP-WT``) and the
+comparison baselines the paper argues against (``rcache``,
+``victim-cache``) — is one :class:`SchemeEntry` here: a named factory
+that yields a cache model implementing the hierarchy's DataL1 protocol,
+plus static metadata (protection kind, load-hit latencies, energy
+notes, which knobs apply).
+
+All scheme resolution goes through this module:
+
+* :func:`normalize_scheme_name` canonicalizes spellings
+  (``icr-p-ps (s)`` -> ``ICR-P-PS(S)``) and raises a :class:`ValueError`
+  listing the registered schemes on unknown input;
+* :func:`build_dl1` turns ``(name, **kwargs)`` into a ready-to-simulate
+  model — an :class:`~repro.core.icr_cache.ICRCache` for the ICR family,
+  a wrapper model for the baselines;
+* :func:`scheme_info` exposes the metadata consumers branch on instead
+  of string heuristics (e.g. the campaign engine applies relaxed ICR
+  knobs only where :attr:`SchemeInfo.accepts_icr_knobs` says they mean
+  something).
+
+To add a scheme, call :func:`register` with an entry whose ``build``
+callable accepts the scheme's keyword knobs and returns the model; see
+DESIGN.md §10 for the full recipe.  Factories import their
+implementation lazily so registering is cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.coding.protection import ProtectionKind
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """Static metadata of one registered scheme.
+
+    ``protection`` and the latencies describe *unreplicated* lines (for
+    the ICR family the replicated state is always parity; its load-hit
+    latency is ``load_hit_latency_replicated``).  ``accepts_icr_knobs``
+    says whether the ICR design-space kwargs (``decay_window``,
+    ``victim_policy``, ``leave_replicas_on_evict``, ...) apply; the
+    campaign engine and CLI use it instead of name heuristics.
+    """
+
+    name: str
+    kind: str  # "base" | "icr" | "baseline"
+    description: str
+    protection: ProtectionKind
+    load_hit_latency: int
+    load_hit_latency_replicated: Optional[int] = None
+    replicates: bool = False
+    accepts_icr_knobs: bool = False
+    energy_note: str = ""
+    aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """A registered scheme: metadata plus its model factory.
+
+    ``build(**kwargs)`` returns a simulatable dL1 model: an object with
+    ``config``/``stats``/``geometry``/``write_policy`` attributes and
+    ``access``/``set_evict_hook`` methods (the hierarchy's DataL1
+    protocol).  Models that wrap an inner ICR cache expose it as
+    ``injection_target`` so fault injection, scrubbing and
+    vulnerability monitoring attach to the real array.
+    """
+
+    info: SchemeInfo
+    build: Callable[..., object]
+
+
+_REGISTRY: dict[str, SchemeEntry] = {}
+#: Squashed spelling -> canonical name (includes aliases).
+_LOOKUP: dict[str, str] = {}
+
+
+def _squash(name: str) -> str:
+    """Spelling-insensitive form: no spaces, ``_`` -> ``-``, casefolded."""
+    return name.replace(" ", "").replace("_", "-").casefold()
+
+
+def register(entry: SchemeEntry) -> SchemeEntry:
+    """Add *entry* to the catalog (idempotent per name; aliases too)."""
+    name = entry.info.name
+    _REGISTRY[name] = entry
+    _LOOKUP[_squash(name)] = name
+    for alias in entry.info.aliases:
+        _LOOKUP[_squash(alias)] = name
+    return entry
+
+
+def registered_schemes() -> tuple[str, ...]:
+    """Canonical scheme names, in registration (= paper) order."""
+    return tuple(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    return _squash(name) in _LOOKUP
+
+
+def normalize_scheme_name(name: str) -> str:
+    """Canonicalize spellings like ``icr-p-ps (s)`` to ``ICR-P-PS(S)``.
+
+    Raises :class:`ValueError` listing the registered schemes when the
+    name (after spelling normalization) is not in the registry.
+    Idempotent: canonical names map to themselves.
+    """
+    canonical = _LOOKUP.get(_squash(name))
+    if canonical is None:
+        raise ValueError(
+            f"unknown scheme name {name!r}; registered schemes: "
+            + ", ".join(registered_schemes())
+        )
+    return canonical
+
+
+def scheme_entry(name: str) -> SchemeEntry:
+    """The registry entry for *name* (any accepted spelling)."""
+    return _REGISTRY[normalize_scheme_name(name)]
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    """The metadata for *name* (any accepted spelling)."""
+    return scheme_entry(name).info
+
+
+def build_dl1(name: str, **kwargs):
+    """Build the simulatable dL1 model for a named scheme.
+
+    The keyword knobs are the scheme family's own: the ICR family takes
+    the :func:`repro.core.schemes.make_config` kwargs, ``rcache`` takes
+    ``rcache_bytes``, ``victim-cache`` takes ``entries`` (all accept
+    ``geometry`` and ``track_data``).  Unknown names raise
+    :class:`ValueError`; unknown knobs raise :class:`TypeError` from the
+    factory, naming the scheme.
+    """
+    entry = scheme_entry(name)
+    try:
+        return entry.build(**kwargs)
+    except TypeError as exc:
+        raise TypeError(f"scheme {entry.info.name!r}: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# catalog
+# ---------------------------------------------------------------------------
+
+
+def _icr_factory(name: str) -> Callable[..., object]:
+    """Factory for an ICR-family scheme (lazy import: no cycles)."""
+
+    def build(**kwargs):
+        from repro.core.icr_cache import ICRCache
+        from repro.core.schemes import make_config
+
+        return ICRCache(make_config(name, **kwargs))
+
+    return build
+
+
+def _rcache_factory(**kwargs):
+    from repro.baselines.rcache import RCacheDL1
+
+    return RCacheDL1(**kwargs)
+
+
+def _victim_cache_factory(**kwargs):
+    from repro.baselines.victim_cache import VictimCacheDL1
+
+    return VictimCacheDL1(**kwargs)
+
+
+_P = ProtectionKind.PARITY
+_E = ProtectionKind.ECC
+
+
+def _register_icr_family() -> None:
+    base = [
+        SchemeInfo(
+            "BaseP", "base",
+            "plain dL1, byte parity everywhere, 1-cycle loads", _P, 1,
+        ),
+        SchemeInfo(
+            "BaseECC", "base",
+            "plain dL1, SEC-DED everywhere, 2-cycle verified loads", _E, 2,
+        ),
+    ]
+    icr = [
+        SchemeInfo(
+            name=f"ICR-{prot_key}-{lookup_key}({trigger_key})",
+            kind="icr",
+            description=(
+                f"in-cache replication: {prot_desc} on unreplicated lines, "
+                f"{lookup_desc}, replicate on {trigger_desc}"
+            ),
+            protection=prot,
+            load_hit_latency=prot_lat,
+            load_hit_latency_replicated=lookup_lat,
+            replicates=True,
+            accepts_icr_knobs=True,
+        )
+        for prot_key, prot, prot_lat, prot_desc in (
+            ("P", _P, 1, "parity"),
+            ("ECC", _E, 2, "SEC-DED"),
+        )
+        for lookup_key, lookup_lat, lookup_desc in (
+            ("PS", 1, "serial replica lookup"),
+            ("PP", 2, "parallel replica compare"),
+        )
+        for trigger_key, trigger_desc in (
+            ("LS", "fills and stores"),
+            ("S", "stores only"),
+        )
+    ]
+    extras = [
+        SchemeInfo(
+            "BaseECC-spec", "base",
+            "BaseECC with speculative 1-cycle loads (Section 5.9)", _E, 1,
+        ),
+        SchemeInfo(
+            "BaseP-WT", "base",
+            "BaseP with a write-through dL1 + coalescing write buffer "
+            "(Section 5.8)", _P, 1,
+        ),
+    ]
+    for info in base + icr + extras:
+        register(SchemeEntry(info=info, build=_icr_factory(info.name)))
+
+
+def _register_baselines() -> None:
+    register(
+        SchemeEntry(
+            info=SchemeInfo(
+                name="rcache",
+                kind="baseline",
+                description=(
+                    "Kim & Somani R-Cache: parity dL1 + dedicated "
+                    "fully-associative duplicate store (rcache_bytes)"
+                ),
+                protection=_P,
+                load_hit_latency=1,
+                energy_note=(
+                    "duplicate-store writes are charged as extra dL1 "
+                    "array writes; the side array's leakage/area is the "
+                    "cost ICR avoids"
+                ),
+                aliases=("r-cache", "rc"),
+            ),
+            build=_rcache_factory,
+        )
+    )
+    register(
+        SchemeEntry(
+            info=SchemeInfo(
+                name="victim-cache",
+                kind="baseline",
+                description=(
+                    "Jouppi victim cache: parity dL1 + fully-associative "
+                    "buffer of evicted lines (entries)"
+                ),
+                protection=_P,
+                load_hit_latency=1,
+                energy_note=(
+                    "victim-cache swap-backs are charged the 2-cycle "
+                    "replica-fill latency ICR pays in Section 5.6"
+                ),
+                aliases=("victimcache", "vc"),
+            ),
+            build=_victim_cache_factory,
+        )
+    )
+
+
+_register_icr_family()
+_register_baselines()

@@ -21,6 +21,7 @@ from typing import Iterable, Optional
 
 from repro.cache.set_assoc import CacheGeometry
 from repro.coding.protection import ProtectionKind
+from repro.core import registry
 from repro.core.config import (
     ICRConfig,
     LookupMode,
@@ -28,7 +29,6 @@ from repro.core.config import (
     VictimPolicy,
     variant,
 )
-from repro.core.icr_cache import ICRCache
 
 #: Scheme names in the order the paper's Figure 9 presents them.
 ALL_SCHEMES: tuple[str, ...] = (
@@ -53,10 +53,13 @@ _PROTECTIONS = {"P": ProtectionKind.PARITY, "ECC": ProtectionKind.ECC}
 
 
 def normalize_scheme_name(name: str) -> str:
-    """Canonicalize spellings like ``icr-p-ps (s)`` to ``ICR-P-PS(S)``."""
-    return name.replace(" ", "").upper().replace("BASEECC", "BaseECC").replace(
-        "BASEP", "BaseP"
-    ).replace("-SPEC", "-spec").replace("BaseECC-SPEC", "BaseECC-spec")
+    """Canonicalize spellings like ``icr-p-ps (s)`` to ``ICR-P-PS(S)``.
+
+    Resolution goes through the scheme registry: unknown names raise a
+    :class:`ValueError` listing every registered scheme instead of
+    falling through to a confusing downstream error.
+    """
+    return registry.normalize_scheme_name(name)
 
 
 def make_config(
@@ -80,6 +83,11 @@ def make_config(
     replica count, and the Section 5.6 leave-in-place mode.
     """
     canonical = normalize_scheme_name(name)
+    if registry.scheme_info(canonical).kind == "baseline":
+        raise ValueError(
+            f"{canonical!r} is a baseline model, not an ICR-family scheme; "
+            "build it with repro.core.registry.build_dl1"
+        )
     base = ICRConfig(
         name=canonical,
         geometry=geometry or CacheGeometry(16 * 1024, 4, 64),
@@ -149,9 +157,14 @@ def make_config(
         raise ValueError(f"unknown scheme name {name!r}") from exc
 
 
-def make_cache(name: str, **kwargs) -> ICRCache:
-    """Convenience: an :class:`ICRCache` for a named scheme."""
-    return ICRCache(make_config(name, **kwargs))
+def make_cache(name: str, **kwargs):
+    """Convenience: the simulatable cache model for a named scheme.
+
+    Resolves through the scheme registry, so every registered scheme —
+    including the ``rcache`` / ``victim-cache`` baselines — is accepted;
+    the ICR family returns an :class:`~repro.core.icr_cache.ICRCache`.
+    """
+    return registry.build_dl1(name, **kwargs)
 
 
 def iter_configs(names: Iterable[str], **kwargs) -> list[ICRConfig]:

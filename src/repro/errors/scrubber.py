@@ -15,9 +15,8 @@ only loss mode is exactly the accumulated double).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.coding.protection import ProtectionKind
 
 
 @dataclass

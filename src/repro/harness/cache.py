@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro.core.config import ICRConfig
+from repro.core.registry import normalize_scheme_name
 from repro.harness.experiment import SimulationResult
 from repro.harness.spec import RUN_DEFAULTS as _RUN_DEFAULTS
 from repro.harness.spec import MachineConfig
@@ -125,6 +126,10 @@ def job_key(
     stable representation.
     """
     profile = profile_for(benchmark) if isinstance(benchmark, str) else benchmark
+    if isinstance(scheme, str):
+        # Canonical spelling via the registry: every accepted spelling of
+        # a scheme shares one cache identity (matches ExperimentSpec).
+        scheme = normalize_scheme_name(scheme)
     merged = dict(_RUN_DEFAULTS)
     merged.update(kwargs or {})
     if merged["machine"] is None:

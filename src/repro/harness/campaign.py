@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
+from repro.core.registry import normalize_scheme_name, scheme_info
 from repro.harness.report import format_table
 from repro.harness.runner import Job, ParallelRunner, RunnerError
 from repro.harness.spec import ExperimentSpec, MachineConfig
@@ -101,7 +102,14 @@ class CampaignConfig:
 
     def __post_init__(self):
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
-        object.__setattr__(self, "schemes", tuple(self.schemes))
+        # Scheme names resolve through the registry: canonical spelling
+        # everywhere (cells, checkpoints, reports), and an unknown
+        # scheme fails here with the registered list, not mid-campaign.
+        object.__setattr__(
+            self,
+            "schemes",
+            tuple(normalize_scheme_name(s) for s in self.schemes),
+        )
         object.__setattr__(self, "error_rates", tuple(self.error_rates))
         kwargs = self.scheme_kwargs
         items = kwargs.items() if isinstance(kwargs, Mapping) else tuple(kwargs)
@@ -148,9 +156,13 @@ class CampaignConfig:
         attempt): distinct cells never share seeds, and a retry after a
         crash gets a genuinely fresh seed rather than a neighbour.
         """
+        # The shared scheme kwargs are the ICR design-space knobs (e.g.
+        # the relaxed decay/victim settings); the registry's metadata
+        # says which schemes they mean anything to — base schemes and
+        # the rcache/victim-cache baselines run without them.
         scheme_kwargs = (
             dict(self.scheme_kwargs)
-            if not cell.scheme.startswith("Base")
+            if scheme_info(cell.scheme).accepts_icr_knobs
             else {}
         )
         return ExperimentSpec(

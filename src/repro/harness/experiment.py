@@ -26,7 +26,7 @@ from typing import Any, Optional, Union
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.config import ICRConfig
 from repro.core.icr_cache import ICRCache
-from repro.core.schemes import make_config
+from repro.core.registry import build_dl1
 from repro.cpu.branch import PredictorStats
 from repro.cpu.pipeline import OutOfOrderPipeline, PipelineResult
 from repro.energy.accounting import EnergyBreakdown, EnergyParams, energy_of
@@ -229,14 +229,21 @@ def _run_spec(spec: ExperimentSpec) -> SimulationResult:
         if scheme_kwargs:
             raise ValueError("pass scheme kwargs only with a scheme *name*")
         config = spec.scheme
+        dl1 = ICRCache(config)
     else:
+        # Scheme names resolve through the registry, so the comparison
+        # baselines (rcache, victim-cache) run through the exact same
+        # machinery as the ICR family.
         if spec.error_rate > 0.0:
             scheme_kwargs.setdefault("track_data", True)
-        config = make_config(spec.scheme, **scheme_kwargs)
-    if spec.error_rate > 0.0 and not config.track_data:
+        dl1 = build_dl1(spec.scheme, **scheme_kwargs)
+        config = dl1.config
+    # Wrapper models expose the ICR cache that holds the real array as
+    # injection_target; observers always attach there.
+    dl1_core = getattr(dl1, "injection_target", dl1)
+    if spec.error_rate > 0.0 and not dl1_core.config.track_data:
         raise ValueError("error injection requires track_data=True in the config")
 
-    dl1 = ICRCache(config)
     hierarchy_config = machine.hierarchy
     if spec.icache_error_rate > 0.0 and not hierarchy_config.protected_icache:
         hierarchy_config = dataclasses.replace(
@@ -255,17 +262,17 @@ def _run_spec(spec: ExperimentSpec) -> SimulationResult:
         )
     if spec.error_rate > 0.0:
         FaultInjector(
-            dl1, spec.error_rate, model=spec.error_model, seed=spec.error_seed
+            dl1_core, spec.error_rate, model=spec.error_model, seed=spec.error_seed
         )
     monitor = None
     if spec.measure_vulnerability:
         from repro.reliability.vulnerability import VulnerabilityMonitor
 
-        monitor = VulnerabilityMonitor(dl1)
+        monitor = VulnerabilityMonitor(dl1_core)
     if spec.scrub_period is not None:
         from repro.errors.scrubber import Scrubber
 
-        Scrubber(dl1, period=spec.scrub_period)
+        Scrubber(dl1_core, period=spec.scrub_period)
     pipeline = OutOfOrderPipeline(hierarchy, machine.pipeline)
 
     trace = trace_for(

@@ -191,12 +191,11 @@ class _ReplayEngine:
         return self.runner.run_one(benchmark, scheme, **kwargs)
 
 
-#: Figure functions that simulate outside _run() (dedicated baseline
-#: models); collecting their jobs would run those baselines twice, so
-#: run_figure executes them in a single pass instead.
-PREFETCH_UNSAFE = frozenset(
-    {"comparison_rcache", "comparison_victim_cache", "comparison_area"}
-)
+#: Figure functions that simulate outside _run(); collecting their jobs
+#: would run that work twice, so run_figure executes them in a single
+#: pass instead.  The rcache / victim-cache comparisons left this set
+#: when those baselines became registered schemes running through _run.
+PREFETCH_UNSAFE = frozenset({"comparison_area"})
 
 
 def run_figure(
@@ -793,9 +792,14 @@ ALL_FIGURES: dict[str, Callable[..., FigureResult]] = {
 
 
 def comparison_rcache(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
-    """ICR coverage vs a dedicated Kim & Somani-style duplicate cache."""
-    from repro.baselines.rcache import run_rcache_baseline
+    """ICR coverage vs a dedicated Kim & Somani-style duplicate cache.
 
+    The R-Cache side runs through the registered ``rcache`` scheme, so
+    it shares the runner, the result cache, and the standard
+    ``loads_with_replica`` metric with every other scheme (the numbers
+    match :func:`repro.baselines.rcache.run_rcache_baseline` exactly —
+    benchmarks/bench_comparison_rcache.py asserts it).
+    """
     result = FigureResult(
         "Comparison C1",
         "Duplicate coverage: ICR-P-PS(S) vs dedicated 2KB R-Cache",
@@ -804,17 +808,21 @@ def comparison_rcache(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] =
     )
     for bench in benchmarks:
         icr = _run(bench, "ICR-P-PS(S)", n)
-        rcache = run_rcache_baseline(bench, rcache_bytes=2 * 1024, n_instructions=n)
+        rcache = _run(bench, "rcache", n)
         result.rows.append(
-            [bench, icr.loads_with_replica, rcache.loads_with_duplicate]
+            [bench, icr.loads_with_replica, rcache.loads_with_replica]
         )
     return result
 
 
 def comparison_victim_cache(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
-    """ICR leave-in-place mode vs a dedicated 16-entry victim cache."""
-    from repro.baselines.victim_cache import run_victim_cache_baseline
+    """ICR leave-in-place mode vs a dedicated 16-entry victim cache.
 
+    The victim-cache side runs through the registered ``victim-cache``
+    scheme on the full Table 1 machine — cycle-identical to
+    :func:`repro.baselines.victim_cache.run_victim_cache_baseline`
+    (benchmarks/bench_comparison_victim_cache.py asserts it).
+    """
     result = FigureResult(
         "Comparison C2",
         "Cycles vs BaseP: dedicated 16-entry victim cache vs ICR leave-mode",
@@ -823,7 +831,7 @@ def comparison_victim_cache(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[
     )
     for bench in benchmarks:
         base = _run(bench, "BaseP", n)
-        vc = run_victim_cache_baseline(bench, entries=16, n_instructions=n)
+        vc = _run(bench, "victim-cache", n)
         icr = _run(
             bench, "ICR-P-PS(S)", n, leave_replicas_on_evict=True, **RELAXED
         )

@@ -31,6 +31,7 @@ from typing import Any, Mapping, Optional, Union
 
 from repro.cache.hierarchy import HierarchyConfig
 from repro.core.config import ICRConfig
+from repro.core.registry import normalize_scheme_name
 from repro.cpu.pipeline import PipelineConfig
 from repro.workloads.generator import WorkloadProfile
 
@@ -79,6 +80,14 @@ class ExperimentSpec:
     scheme_kwargs: tuple = ()
 
     def __post_init__(self):
+        if isinstance(self.scheme, str):
+            # Canonicalize through the registry: every accepted spelling
+            # of a scheme shares one spec (and one cache key), and typos
+            # fail here with the list of registered schemes instead of
+            # deep inside a worker.
+            object.__setattr__(
+                self, "scheme", normalize_scheme_name(self.scheme)
+            )
         kwargs = self.scheme_kwargs
         if isinstance(kwargs, Mapping):
             items = kwargs.items()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
+from repro.core.registry import normalize_scheme_name
 from repro.harness.experiment import SimulationResult
 from repro.harness.report import format_table
 from repro.harness.runner import Job, ParallelRunner
@@ -119,6 +120,9 @@ def scheme_sweep(
     engine = _resolve_runner(runner, jobs)
     out = SweepResult(parameter="scheme")
     grid: list[tuple[tuple[str, str], Job]] = []
+    # Canonicalize up front: the per-scheme kwargs callback and the
+    # result keys both see registry spellings, whatever the caller wrote.
+    schemes = [normalize_scheme_name(s) for s in schemes]
     for bench in benchmarks:
         for scheme in schemes:
             extra = scheme_kwargs(scheme) if scheme_kwargs else {}

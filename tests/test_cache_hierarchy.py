@@ -1,6 +1,5 @@
 """Tests for the Table 1 memory hierarchy: latencies and traffic routing."""
 
-import pytest
 
 from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.core.schemes import make_cache

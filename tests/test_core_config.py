@@ -8,7 +8,6 @@ from repro.core.config import (
     ICRConfig,
     LookupMode,
     ReplicationTrigger,
-    VictimPolicy,
     power2_distances,
     resolve_distance,
     variant,

@@ -1,0 +1,203 @@
+"""The scheme registry: catalog, normalization and end-to-end builds.
+
+The registry is the single resolution point for scheme names — specs,
+the result cache, the campaign engine and the CLI all go through it —
+so these tests pin three contracts:
+
+* name normalization is idempotent, spelling-insensitive and fails
+  loudly (listing the catalog) on unknown input;
+* the static metadata agrees with what the built models actually do
+  (protection kinds, load-hit latencies, who replicates);
+* every registered scheme — the paper family *and* the rcache /
+  victim-cache baselines — runs end-to-end through ExperimentSpec,
+  produces a round-trippable SimulationResult, and survives a tiny
+  fault-injection campaign.
+"""
+
+import pytest
+
+from repro.coding.protection import ProtectionKind
+from repro.core.config import ICRConfig
+from repro.core.registry import (
+    build_dl1,
+    is_registered,
+    normalize_scheme_name,
+    registered_schemes,
+    scheme_entry,
+    scheme_info,
+)
+from repro.core.schemes import ALL_SCHEMES
+from repro.harness.experiment import SimulationResult, run_experiment
+from repro.harness.spec import ExperimentSpec
+
+N = 4_000
+
+
+class TestCatalog:
+    def test_paper_schemes_all_registered_in_paper_order(self):
+        names = registered_schemes()
+        assert names[: len(ALL_SCHEMES)] == tuple(ALL_SCHEMES)
+
+    def test_extras_and_baselines_registered(self):
+        names = registered_schemes()
+        for extra in ("BaseECC-spec", "BaseP-WT", "rcache", "victim-cache"):
+            assert extra in names
+
+    def test_kinds_partition_the_catalog(self):
+        kinds = {name: scheme_info(name).kind for name in registered_schemes()}
+        assert set(kinds.values()) == {"base", "icr", "baseline"}
+        assert kinds["BaseP"] == "base"
+        assert kinds["ICR-P-PS(S)"] == "icr"
+        assert kinds["rcache"] == "baseline"
+        assert kinds["victim-cache"] == "baseline"
+
+    def test_entry_and_info_agree(self):
+        for name in registered_schemes():
+            assert scheme_entry(name).info is scheme_info(name)
+
+
+class TestNormalization:
+    def test_canonical_names_are_fixed_points(self):
+        for name in registered_schemes():
+            assert normalize_scheme_name(name) == name
+
+    def test_idempotent(self):
+        for raw in ("icr-p-ps (s)", "Base P", "R_CACHE", "Victim Cache"):
+            once = normalize_scheme_name(raw)
+            assert normalize_scheme_name(once) == once
+
+    @pytest.mark.parametrize(
+        "raw, canonical",
+        [
+            ("icr-p-ps(s)", "ICR-P-PS(S)"),
+            ("ICR_ECC_PP(LS)", "ICR-ECC-PP(LS)"),
+            ("basep", "BaseP"),
+            ("base ecc", "BaseECC"),
+            ("r-cache", "rcache"),
+            ("rc", "rcache"),
+            ("victimcache", "victim-cache"),
+            ("VC", "victim-cache"),
+        ],
+    )
+    def test_spellings_and_aliases(self, raw, canonical):
+        assert normalize_scheme_name(raw) == canonical
+
+    def test_unknown_name_raises_listing_the_catalog(self):
+        with pytest.raises(ValueError) as exc:
+            normalize_scheme_name("nosuch-scheme")
+        message = str(exc.value)
+        assert "nosuch-scheme" in message
+        for name in registered_schemes():
+            assert name in message
+
+    def test_is_registered(self):
+        assert is_registered("ICR-P-PS(S)")
+        assert is_registered("vc")
+        assert not is_registered("nosuch-scheme")
+
+
+class TestMetadataConsistency:
+    """The static catalog must match what the built models really do."""
+
+    def test_icr_family_metadata_matches_built_config(self):
+        for name in ALL_SCHEMES + ("BaseECC-spec", "BaseP-WT"):
+            info = scheme_info(name)
+            cache = build_dl1(name)
+            protection = cache.protection_policy
+            assert info.protection is protection.unreplicated, name
+            assert (
+                info.load_hit_latency
+                == protection.load_hit_latency_unreplicated
+            ), name
+            if info.replicates:
+                assert (
+                    info.load_hit_latency_replicated
+                    == protection.load_hit_latency_replicated
+                ), name
+            assert info.replicates == cache._replicates, name
+            assert info.accepts_icr_knobs == (info.kind == "icr"), name
+
+    def test_baseline_metadata(self):
+        for name in ("rcache", "victim-cache"):
+            info = scheme_info(name)
+            assert info.protection is ProtectionKind.PARITY
+            assert info.load_hit_latency == 1
+            assert not info.accepts_icr_knobs
+            assert info.energy_note
+
+    def test_baseline_models_expose_the_dl1_protocol(self):
+        for name in ("rcache", "victim-cache"):
+            model = build_dl1(name)
+            assert model.config.name == name
+            for attr in ("stats", "geometry", "write_policy"):
+                assert hasattr(model, attr), (name, attr)
+            for method in ("access", "set_evict_hook"):
+                assert callable(getattr(model, method)), (name, method)
+            # Fault injection attaches to the real array underneath.
+            assert model.injection_target is not model
+            assert model.injection_target.config.track_data is False
+
+
+class TestBuildErrors:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="registered schemes"):
+            build_dl1("nosuch-scheme")
+
+    def test_unknown_knob_names_the_scheme(self):
+        with pytest.raises(TypeError, match=r"ICR-P-PS\(S\)"):
+            build_dl1("ICR-P-PS(S)", nosuch_knob=1)
+        with pytest.raises(TypeError, match="rcache"):
+            build_dl1("rcache", nosuch_knob=1)
+
+
+class TestEverySchemeEndToEnd:
+    """name -> spec -> cache -> SimulationResult -> dict round trip."""
+
+    @pytest.mark.parametrize("name", registered_schemes())
+    def test_round_trip(self, name):
+        spec = ExperimentSpec("gzip", name, n_instructions=N)
+        assert spec.scheme == name  # already canonical
+        result = run_experiment(spec)
+        assert result.scheme == name
+        assert result.instructions == N
+        assert result.cycles > 0
+        recovered = SimulationResult.from_dict(result.to_dict())
+        assert recovered == result
+
+    def test_alias_spec_shares_identity_with_canonical(self):
+        via_alias = ExperimentSpec("gzip", "r_cache", n_instructions=N)
+        canonical = ExperimentSpec("gzip", "rcache", n_instructions=N)
+        assert via_alias == canonical
+        assert via_alias.key() == canonical.key()
+
+    def test_spec_rejects_unknown_scheme_at_construction(self):
+        with pytest.raises(ValueError, match="registered schemes"):
+            ExperimentSpec("gzip", "nosuch-scheme")
+
+    def test_prebuilt_config_bypasses_the_registry(self):
+        from repro.core.schemes import make_config
+
+        config = make_config("ICR-P-PS(S)")
+        spec = ExperimentSpec("gzip", config, n_instructions=N)
+        assert isinstance(spec.scheme, ICRConfig)
+
+
+class TestBaselineCampaign:
+    def test_baselines_run_through_a_tiny_campaign(self):
+        from repro.harness.campaign import CampaignConfig, run_campaign
+
+        config = CampaignConfig(
+            benchmarks=("gzip",),
+            schemes=("rcache", "victim-cache"),
+            error_rates=(1e-2,),
+            trials=2,
+            batch_size=2,
+            n_instructions=3_000,
+        )
+        report = run_campaign(config)
+        assert report.complete
+        assert len(report.outcomes) == 2
+        for outcome in report.outcomes:
+            assert len(outcome.ok_records()) == 2, outcome.cell
+            summary = outcome.summary(config)
+            assert summary["trials_ok"] == 2

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cache.set_assoc import CacheGeometry
-from repro.cache.stats import CacheStats, HierarchyStats
+from repro.cache.stats import HierarchyStats
 from repro.energy.accounting import EnergyParams, energy_of
 from repro.energy.cacti import access_energy, l1_l2_energies
 

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.cache.block import CacheBlock
 from repro.core.icr_cache import ICRCache
 from repro.core.schemes import make_config
 from repro.errors.injector import FaultInjector, derive_stream_seed

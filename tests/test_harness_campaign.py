@@ -189,13 +189,18 @@ class TestCheckpointResume:
 
 class TestGracefulDegradation:
     def test_crashing_trials_recorded_not_raised(self):
+        # Unknown scheme *names* now fail fast at config construction
+        # (see test_unknown_scheme_rejected_at_config_time), so a bogus
+        # ICR knob stands in as the run-time crash vector: it passes
+        # spec construction and blows up inside the worker.
         config = CampaignConfig(
             benchmarks=("gzip",),
-            schemes=("nosuch-scheme",),
+            schemes=("ICR-P-PS(S)",),
             trials=2,
             batch_size=2,
             max_trial_retries=1,
             n_instructions=3_000,
+            scheme_kwargs={"nosuch_knob": 1},
         )
         report = run_campaign(config)
         assert report.complete
@@ -211,18 +216,28 @@ class TestGracefulDegradation:
             assert record.error
 
     def test_failures_do_not_poison_healthy_cells(self):
+        # BaseP ignores the ICR knobs (registry metadata) and stays
+        # healthy; the ICR cell receives the bogus knob and crashes.
         config = CampaignConfig(
             benchmarks=("gzip",),
-            schemes=("BaseP", "nosuch-scheme"),
+            schemes=("BaseP", "ICR-P-PS(S)"),
             trials=2,
             batch_size=2,
             max_trial_retries=0,
             n_instructions=3_000,
+            scheme_kwargs={"nosuch_knob": 1},
         )
         report = run_campaign(config)
         by_scheme = {o.cell.scheme: o for o in report.outcomes}
         assert len(by_scheme["BaseP"].ok_records()) == 2
-        assert by_scheme["nosuch-scheme"].failed_attempts() == 2
+        assert by_scheme["ICR-P-PS(S)"].failed_attempts() == 2
+
+    def test_unknown_scheme_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="registered schemes"):
+            CampaignConfig(
+                benchmarks=("gzip",),
+                schemes=("nosuch-scheme",),
+            )
 
 
 class TestTrialLog:

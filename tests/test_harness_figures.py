@@ -1,6 +1,5 @@
 """Smoke/shape tests for the per-figure harness (small trace lengths)."""
 
-import pytest
 
 from repro.harness.figures import (
     ALL_FIGURES,

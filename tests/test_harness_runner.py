@@ -7,7 +7,6 @@ under seeded fault injection — worker scheduling must never leak into
 the simulation.
 """
 
-import dataclasses
 import signal
 
 import pytest
@@ -110,10 +109,15 @@ class TestInProcessFallback:
 
 
 class TestRetryAndFailure:
+    # Unknown scheme *names* are rejected by the registry before a job
+    # ever reaches a worker, so a bogus ICR knob (caught only when the
+    # worker builds the config) is the run-time failure vector here.
+
     def test_failing_job_raises_after_retry(self):
         runner = ParallelRunner(jobs=1)
+        bad = Job("gzip", "ICR-P-PS(S)", dict(n_instructions=N, nosuch_knob=1))
         with pytest.raises(RunnerError, match="nosuch"):
-            runner.run([Job("gzip", "nosuch-scheme", dict(n_instructions=N))])
+            runner.run([bad])
         assert runner.stats.retries == 1
         assert runner.stats.failures == 1
 
@@ -121,7 +125,7 @@ class TestRetryAndFailure:
         runner = ParallelRunner(jobs=2)
         jobs = [
             Job("gzip", "BaseP", dict(n_instructions=N)),
-            Job("gzip", "nosuch-scheme", dict(n_instructions=N)),
+            Job("gzip", "ICR-P-PS(S)", dict(n_instructions=N, nosuch_knob=1)),
         ]
         with pytest.raises(RunnerError):
             runner.run(jobs)

@@ -13,11 +13,9 @@ and checks the structural invariants that must hold at *every* step:
   protection kind, unreplicated ones the configured base kind.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.coding.protection import ProtectionKind
 from repro.core.config import VictimPolicy
 from repro.core.icr_cache import ICRCache
 from repro.core.schemes import make_config
