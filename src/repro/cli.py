@@ -68,6 +68,17 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("object", "array"),
+        default="object",
+        help="simulation kernel: 'object' (the CacheBlock reference "
+        "implementation) or 'array' (the struct-of-arrays kernel, "
+        "bit-identical where supported and substantially faster)",
+    )
+
+
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
     cache = None
     if not args.no_cache:
@@ -106,6 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="random",
     )
     run.add_argument("--vulnerability", action="store_true")
+    _add_backend_flag(run)
     run.add_argument(
         "--profile",
         action="store_true",
@@ -122,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="decay window 1000 + dead-first (Section 5.4) instead of aggressive",
     )
+    _add_backend_flag(compare)
     _add_runner_flags(compare)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -211,6 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the full campaign report as JSON",
     )
+    _add_backend_flag(campaign)
     _add_runner_flags(campaign)
 
     return parser
@@ -243,6 +257,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             error_rate=args.error_rate,
             error_model=args.error_model,
             measure_vulnerability=args.vulnerability,
+            backend=args.backend,
             scheme_kwargs=scheme_kwargs,
         )
     except ValueError as exc:  # unknown scheme name, from the registry
@@ -293,6 +308,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             scheme,
             dict(
                 n_instructions=args.instructions,
+                backend=args.backend,
                 **(knobs if scheme_info(scheme).accepts_icr_knobs else {}),
             ),
         )
@@ -356,6 +372,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         error_model=args.error_model,
         measure_vulnerability=args.vulnerability,
         scrub_period=args.scrub_period,
+        backend=args.backend,
         scheme_kwargs=RELAXED if args.relaxed else {},
     )
     checkpoint = None

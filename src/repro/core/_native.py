@@ -1,0 +1,268 @@
+"""Optional native (C, via cffi) implementation of the phase-2 scoreboard.
+
+The batched engine's phase 2 (:func:`repro.core.array_kernel.run_batched`)
+reduces to pure integer arithmetic over flat arrays: its only output is
+the final cycle count — every other statistic is precomputed before the
+loop.  That makes it an ideal candidate for a tiny C kernel: the function
+below is a line-for-line transcription of the Python loop (same state
+variables, same comparisons, same first-index-on-tie unit selection), so
+the two are bit-identical by construction and the differential harness
+exercises whichever one is active.
+
+The kernel is compiled once per machine with the system C compiler and
+cached as a shared library under the repro cache directory
+(``$REPRO_CACHE_DIR/native`` or ``~/.cache/repro/native``, keyed by a
+hash of the C source).  Everything degrades gracefully: no cffi, no C
+compiler, a read-only cache directory, or ``REPRO_NATIVE=0`` all fall
+back to the pure-Python loop with identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_C_SOURCE = r"""
+long long icr_phase2(
+    long long n,
+    const unsigned char *ops,
+    const unsigned char *dests,
+    const unsigned char *src1,
+    const unsigned char *src2,
+    const long long *fetch_lat,
+    const long long *exec_lat,
+    const unsigned char *misp,
+    long long width,
+    long long penalty,
+    long long ruu_size,
+    long long lsq_size,
+    const long long *pool_off,
+    const long long *pool_cnt,
+    const long long *pool_interval,
+    long long *free_times,
+    long long *reg_ready,
+    long long *ruu_ring,
+    long long *lsq_ring)
+{
+    long long dispatch_cycle = 0, dispatched_in_cycle = 0, redirect_floor = 0;
+    long long retire_cycle = 0, retired_in_cycle = 0;
+    long long ruu_at = 0, lsq_at = 0;
+    long long i;
+    for (i = 0; i < n; i++) {
+        int op = ops[i];
+        /* dispatch constraints */
+        long long earliest = redirect_floor;
+        long long v = ruu_ring[ruu_at];
+        if (v > earliest) earliest = v;
+        int is_mem = (op == 4) || (op == 5); /* OP_LOAD / OP_STORE */
+        if (is_mem) {
+            v = lsq_ring[lsq_at];
+            if (v > earliest) earliest = v;
+        }
+        if (earliest > dispatch_cycle) {
+            dispatch_cycle = earliest;
+            dispatched_in_cycle = 1;
+        } else {
+            dispatched_in_cycle += 1;
+            if (dispatched_in_cycle > width) {
+                dispatch_cycle += 1;
+                dispatched_in_cycle = 1;
+            }
+        }
+        /* instruction fetch (precomputed latency) */
+        v = fetch_lat[i];
+        if (v > 1) {
+            dispatch_cycle += v - 1;
+            dispatched_in_cycle = 1;
+        }
+        /* operand readiness and functional-unit issue */
+        long long ready = dispatch_cycle;
+        v = reg_ready[src1[i]];
+        if (v > ready) ready = v;
+        v = reg_ready[src2[i]];
+        if (v > ready) ready = v;
+        long long off = pool_off[op];
+        long long end = off + pool_cnt[op];
+        long long best = off;
+        long long best_time = free_times[off];
+        long long k;
+        for (k = off + 1; k < end; k++) {
+            if (free_times[k] < best_time) {  /* first index on ties */
+                best_time = free_times[k];
+                best = k;
+            }
+        }
+        long long start = ready >= best_time ? ready : best_time;
+        free_times[best] = start + pool_interval[op];
+        /* execution (latency precomputed for every op class) */
+        long long complete = start + exec_lat[i];
+        if (misp[i]) {
+            v = complete + penalty;
+            if (v > redirect_floor) redirect_floor = v;
+        }
+        if (dests[i]) reg_ready[dests[i]] = complete;
+        /* in-order retirement, up to `width` per cycle */
+        if (complete > retire_cycle) {
+            retire_cycle = complete;
+            retired_in_cycle = 1;
+        } else {
+            retired_in_cycle += 1;
+            if (retired_in_cycle > width) {
+                retire_cycle += 1;
+                retired_in_cycle = 1;
+            }
+        }
+        ruu_ring[ruu_at] = retire_cycle;
+        ruu_at += 1;
+        if (ruu_at == ruu_size) ruu_at = 0;
+        if (is_mem) {
+            lsq_ring[lsq_at] = retire_cycle;
+            lsq_at += 1;
+            if (lsq_at == lsq_size) lsq_at = 0;
+        }
+    }
+    return retire_cycle;
+}
+"""
+
+_CDEF = """
+long long icr_phase2(
+    long long n,
+    const unsigned char *ops,
+    const unsigned char *dests,
+    const unsigned char *src1,
+    const unsigned char *src2,
+    const long long *fetch_lat,
+    const long long *exec_lat,
+    const unsigned char *misp,
+    long long width,
+    long long penalty,
+    long long ruu_size,
+    long long lsq_size,
+    const long long *pool_off,
+    const long long *pool_cnt,
+    const long long *pool_interval,
+    long long *free_times,
+    long long *reg_ready,
+    long long *ruu_ring,
+    long long *lsq_ring);
+"""
+
+#: tri-state: unset / (ffi, lib) / None (permanently unavailable)
+_STATE: list = []
+
+
+def _cache_dir() -> Path:
+    base = os.environ.get("REPRO_CACHE_DIR")
+    if base:
+        return Path(base).expanduser() / "native"
+    return Path.home() / ".cache" / "repro" / "native"
+
+
+def _build(directory: Path) -> Path:
+    """Compile the kernel into *directory*; returns the .so path."""
+    digest = hashlib.blake2b(_C_SOURCE.encode(), digest_size=8).hexdigest()
+    so_path = directory / f"icr_phase2-{digest}.so"
+    if so_path.exists():
+        return so_path
+    directory.mkdir(parents=True, exist_ok=True)
+    c_path = directory / f"icr_phase2-{digest}.c"
+    c_path.write_text(_C_SOURCE)
+    with tempfile.NamedTemporaryFile(
+        suffix=".so", dir=directory, delete=False
+    ) as tmp:
+        tmp_path = Path(tmp.name)
+    try:
+        subprocess.run(
+            ["cc", "-O2", "-fPIC", "-shared", str(c_path), "-o", str(tmp_path)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp_path, so_path)  # atomic: concurrent builders race safely
+    finally:
+        if tmp_path.exists():
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+    return so_path
+
+
+def _load():
+    """The (ffi, lib) pair, or None when native support is unavailable."""
+    if _STATE:
+        return _STATE[0]
+    result = None
+    if os.environ.get("REPRO_NATIVE", "") != "0":
+        try:
+            import cffi
+
+            ffi = cffi.FFI()
+            ffi.cdef(_CDEF)
+            lib = ffi.dlopen(str(_build(_cache_dir())))
+            result = (ffi, lib)
+        except Exception:
+            result = None  # no cffi / no compiler / read-only cache: fall back
+    _STATE.append(result)
+    return result
+
+
+def available() -> bool:
+    """Whether the compiled phase-2 kernel can be used on this machine."""
+    return _load() is not None
+
+
+def phase2_cycles(
+    n: int,
+    ops_b: bytes,
+    dests_b: bytes,
+    src1_b: bytes,
+    src2_b: bytes,
+    fetch_np,
+    exec_np,
+    misp: bytes,
+    width: int,
+    penalty: int,
+    ruu_size: int,
+    lsq_size: int,
+    pool_off,
+    pool_cnt,
+    pool_interval,
+    n_units: int,
+) -> Optional[int]:
+    """Run the compiled scoreboard; ``None`` when native is unavailable.
+
+    ``fetch_np``/``exec_np`` are contiguous int64 numpy arrays;
+    ``pool_off``/``pool_cnt``/``pool_interval`` are 8-entry int64 numpy
+    arrays mapping each op class to its slice of the shared unit pool.
+    """
+    loaded = _load()
+    if loaded is None:
+        return None
+    ffi, lib = loaded
+    return lib.icr_phase2(
+        n,
+        ffi.from_buffer("unsigned char[]", ops_b),
+        ffi.from_buffer("unsigned char[]", dests_b),
+        ffi.from_buffer("unsigned char[]", src1_b),
+        ffi.from_buffer("unsigned char[]", src2_b),
+        ffi.from_buffer("long long[]", fetch_np),
+        ffi.from_buffer("long long[]", exec_np),
+        ffi.from_buffer("unsigned char[]", misp),
+        width,
+        penalty,
+        ruu_size,
+        lsq_size,
+        ffi.from_buffer("long long[]", pool_off),
+        ffi.from_buffer("long long[]", pool_cnt),
+        ffi.from_buffer("long long[]", pool_interval),
+        ffi.new("long long[]", n_units),
+        ffi.new("long long[]", 64),
+        ffi.new("long long[]", ruu_size),
+        ffi.new("long long[]", lsq_size),
+    )

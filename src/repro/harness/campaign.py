@@ -96,11 +96,19 @@ class CampaignConfig:
     measure_vulnerability: bool = False
     scrub_period: Optional[int] = None
     machine: Optional[MachineConfig] = None
+    #: Simulation kernel for every trial ("object" | "array"); part of
+    #: the campaign digest, so an object-backend checkpoint can never be
+    #: resumed by an array-backend campaign (or vice versa).
+    backend: str = "object"
     #: Extra scheme kwargs applied to non-Base schemes (e.g. the relaxed
     #: decay/victim knobs); normalized to a sorted tuple of pairs.
     scheme_kwargs: tuple = ()
 
     def __post_init__(self):
+        if self.backend not in ("object", "array"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose 'object' or 'array'"
+            )
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
         # Scheme names resolve through the registry: canonical spelling
         # everywhere (cells, checkpoints, reports), and an unknown
@@ -178,6 +186,7 @@ class CampaignConfig:
             ),
             measure_vulnerability=self.measure_vulnerability,
             scrub_period=self.scrub_period,
+            backend=self.backend,
             scheme_kwargs=scheme_kwargs,
         )
 

@@ -77,9 +77,20 @@ class ExperimentSpec:
     trace_seed: int = 0
     warmup_instructions: int = 0
     icache_error_rate: float = 0.0
+    #: Simulation kernel: "object" (the CacheBlock-based reference
+    #: implementation) or "array" (the struct-of-arrays kernel of
+    #: repro.core.array_kernel, bit-identical where supported and
+    #: falling back to the object kernel elsewhere).  Participates in
+    #: :meth:`key`, so results from different backends never share a
+    #: cache entry.
+    backend: str = "object"
     scheme_kwargs: tuple = ()
 
     def __post_init__(self):
+        if self.backend not in ("object", "array"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose 'object' or 'array'"
+            )
         if isinstance(self.scheme, str):
             # Canonicalize through the registry: every accepted spelling
             # of a scheme shares one spec (and one cache key), and typos

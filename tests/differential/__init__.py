@@ -1,0 +1,8 @@
+"""Differential tests: the array kernel against the object reference.
+
+Every test in this package asserts *bit-identity* between the two
+simulation backends (``ExperimentSpec(backend="object")`` vs
+``backend="array"``) — full :class:`SimulationResult` dictionaries,
+per-access outcome streams, golden pins and campaign reports.  Any
+divergence, however small, is a bug in one kernel or the other.
+"""

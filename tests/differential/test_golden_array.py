@@ -1,0 +1,33 @@
+"""The array backend reproduces the checked-in golden pins.
+
+tests/test_golden_results.py pins the headline counters of three
+canonical configurations for the object kernel; here the *same* JSON
+files are asserted against the array backend.  The golden files are the
+fixed point both kernels must hit — a kernel change that moves these
+numbers fails the pin, and a divergence between kernels fails one of
+the two suites.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
+from tests.test_golden_results import CONFIGS, N, _snapshot
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_golden_under_array_backend(name):
+    benchmark, scheme, kwargs = CONFIGS[name]
+    spec = ExperimentSpec.from_kwargs(
+        benchmark, scheme, n_instructions=N, backend="array", **kwargs
+    )
+    got = _snapshot(run_experiment(spec))
+
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"missing golden file {path}"
+    assert got == json.loads(path.read_text())

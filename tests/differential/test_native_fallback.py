@@ -1,0 +1,45 @@
+"""The optional native phase-2 kernel and its pure-Python twin agree.
+
+``repro.core._native`` compiles the batched engine's scoreboard loop to
+C when a compiler is around and silently falls back to the Python loop
+otherwise; both paths must produce the same cycle count to the bit.
+These tests force each path in turn and compare against the object
+reference, so CI covers whichever path the build machine happens to
+exercise plus the one it doesn't.
+"""
+
+from repro.core import _native
+from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
+
+
+def _result(backend):
+    spec = ExperimentSpec(
+        "gzip", "ICR-P-PS(LS)", n_instructions=10_000, backend=backend
+    )
+    return run_experiment(spec).to_dict()
+
+
+def test_python_fallback_bit_identical(monkeypatch):
+    """With the native kernel disabled, the Python loop must match."""
+    monkeypatch.setattr(_native, "phase2_cycles", lambda *a, **k: None)
+    assert _result("array") == _result("object")
+
+
+def test_native_path_bit_identical_when_available():
+    """Whatever path is live on this machine matches the reference."""
+    assert _result("array") == _result("object")
+
+
+def test_repro_native_env_gate(monkeypatch):
+    """REPRO_NATIVE=0 turns the native kernel off entirely."""
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    monkeypatch.setattr(_native, "_STATE", [])
+    assert not _native.available()
+    assert (
+        _native.phase2_cycles(
+            0, b"", b"", b"", b"", None, None, b"", 4, 3, 64, 32,
+            None, None, None, 0,
+        )
+        is None
+    )

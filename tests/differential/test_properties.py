@@ -1,0 +1,101 @@
+"""Property-based differential tests (hypothesis, seeded).
+
+Hypothesis draws random ICR knob combinations and random access traces;
+for every draw the array kernel must match the object kernel exactly —
+identical outcome streams at the dL1 level, and identical end-to-end
+result dictionaries at the experiment level.  Shrinking then reports
+the *smallest* trace that tells the two kernels apart.
+"""
+
+import dataclasses
+
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.core.array_kernel import ArrayDL1
+from repro.core.config import VictimPolicy
+from repro.core.icr_cache import ICRCache
+from repro.core.schemes import make_config
+from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
+
+SCHEMES = st.sampled_from(
+    ["BaseP", "BaseECC", "ICR-P-PS(S)", "ICR-P-PS(LS)", "ICR-ECC-PP(S)"]
+)
+
+_RAW_KNOBS = st.fixed_dictionaries(
+    {},
+    optional={
+        "decay_window": st.sampled_from([0, None, 256, 2048]),
+        "victim_policy": st.sampled_from(list(VictimPolicy)),
+        "leave_replicas_on_evict": st.booleans(),
+        "replicate_into_invalid": st.booleans(),
+        "max_replicas": st.sampled_from([1, 2]),
+        "replica_distances": st.sampled_from([("N/2",), (0,), ("N/2", 0)]),
+    },
+)
+
+
+@st.composite
+def knob_combos(draw):
+    knobs = draw(_RAW_KNOBS)
+    if knobs.get("max_replicas") == 2:
+        # A second replica needs its own attempt list (config invariant).
+        knobs["second_replica_distances"] = draw(
+            st.sampled_from([("N/4",), ("N/4", "N/2")])
+        )
+    return knobs
+
+
+KNOBS = knob_combos()
+
+ACCESSES = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2047),  # block number
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+@seed(20030622)  # DSN 2003; fixed so CI failures reproduce locally
+@given(scheme=SCHEMES, knobs=KNOBS, accesses=ACCESSES)
+@settings(max_examples=60, deadline=None)
+def test_random_knobs_random_trace_identical_streams(scheme, knobs, accesses):
+    config = make_config(scheme, **knobs)
+    reference = ICRCache(config)
+    candidate = ArrayDL1(config)
+    for now, (block, is_write) in enumerate(accesses):
+        addr = block * 64
+        assert candidate.access(addr, is_write, now) == reference.access(
+            addr, is_write, now
+        )
+    assert dataclasses.asdict(candidate.stats) == dataclasses.asdict(
+        reference.stats
+    )
+
+
+@seed(20030622)
+@given(
+    bench=st.sampled_from(["gzip", "vpr", "art"]),
+    scheme=SCHEMES,
+    trace_seed=st.integers(min_value=0, max_value=3),
+    warmup=st.sampled_from([0, 1_000]),
+)
+@settings(max_examples=10, deadline=None)
+def test_random_experiments_identical_results(
+    bench, scheme, trace_seed, warmup
+):
+    """End-to-end: full SimulationResult equality on random spec points."""
+    spec = ExperimentSpec(
+        bench,
+        scheme,
+        n_instructions=6_000,
+        trace_seed=trace_seed,
+        warmup_instructions=warmup,
+        backend="object",
+    )
+    reference = run_experiment(spec).to_dict()
+    candidate = run_experiment(spec.replace(backend="array")).to_dict()
+    assert candidate == reference
