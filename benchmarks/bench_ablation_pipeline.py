@@ -13,12 +13,17 @@ from repro.harness.figures import ablation_pipeline
 
 from repro.cpu.pipeline import PipelineConfig
 from repro.harness.experiment import MachineConfig, run_experiment
+from repro.harness.spec import ExperimentSpec
 
 
 def _ecc_ratio(n, **pipe_kwargs):
     machine = MachineConfig(pipeline=PipelineConfig(**pipe_kwargs))
-    base = run_experiment("gzip", "BaseP", n_instructions=n, machine=machine)
-    ecc = run_experiment("gzip", "BaseECC", n_instructions=n, machine=machine)
+    base = run_experiment(
+        ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=n, machine=machine)
+    )
+    ecc = run_experiment(
+        ExperimentSpec.from_kwargs("gzip", "BaseECC", n_instructions=n, machine=machine)
+    )
     return ecc.cycles / base.cycles
 
 

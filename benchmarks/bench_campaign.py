@@ -1,11 +1,19 @@
 """Campaign smoke target: a tiny Monte Carlo fault-injection campaign.
 
 Runs a deliberately small campaign (two schemes, one benchmark, a
-handful of trials) through :mod:`repro.harness.campaign`, records the
-per-cell summary table and the full JSON report under
-``benchmarks/results/``, and sanity-checks the paper's headline claim —
-the ICR scheme's unrecoverable-load fraction must not exceed the
-baseline's at the same error rate.
+handful of trials) through :mod:`repro.harness.campaign` under **both**
+schedulers — the synchronous round-barrier engine and the continuous
+work-stealing engine — asserts their reports are byte-identical, and
+records per-scheduler trials/sec plus scheduler telemetry (worker
+utilization, steals, cancelled-trial savings) under
+``benchmarks/results/``.
+
+A second, adaptive-stopping campaign measures the headline scheduler
+win: with ``batch_size=1`` and a bootstrap half-width target, the round
+engine degenerates into one barrier per trial while the stealing engine
+pipelines speculative trials past the firm frontier and cancels them on
+convergence.  The wall-clock ratio (round / stealing) is recorded as
+``adaptive.speedup`` in ``BENCH_campaign.json``.
 
 This is the artifact the CI campaign-smoke job uploads; it is sized to
 finish in well under a minute so it can run on every push without
@@ -20,11 +28,35 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _run_once(config, scheduler, jobs, **engine_kwargs):
+    """One fresh, uncached campaign run; returns (report, telemetry, secs)."""
+    from repro.harness.campaign import create_engine
+    from repro.harness.runner import ParallelRunner
+
+    runner = ParallelRunner(jobs=jobs, cache=None)
+    engine = create_engine(config, runner, scheduler=scheduler, **engine_kwargs)
+    start = time.perf_counter()
+    report = engine.run()
+    elapsed = time.perf_counter() - start
+    return report, engine.telemetry(), elapsed
+
+
+def _scheduler_entry(report, telemetry, elapsed):
+    trials = sum(len(o.records) for o in report.outcomes)
+    return {
+        "elapsed_s": round(elapsed, 3),
+        "trials": trials,
+        "trials_per_sec": round(trials / elapsed, 2) if elapsed else None,
+        "telemetry": telemetry,
+    }
 
 
 def main(argv=None) -> int:
@@ -37,10 +69,33 @@ def main(argv=None) -> int:
     parser.add_argument("--trials", type=int, default=12, help="trials per cell")
     parser.add_argument("--instructions", type=int, default=20_000)
     parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--adaptive-jobs",
+        type=int,
+        default=4,
+        help="worker processes for the adaptive-stopping comparison",
+    )
+    parser.add_argument(
+        "--adaptive-trials",
+        type=int,
+        default=48,
+        help="trial cap per cell in the adaptive-stopping comparison",
+    )
+    parser.add_argument(
+        "--adaptive-instructions",
+        type=int,
+        default=5_000,
+        help="instructions per trial in the adaptive-stopping comparison "
+        "(short trials make the per-barrier overhead visible)",
+    )
+    parser.add_argument(
+        "--skip-adaptive",
+        action="store_true",
+        help="skip the adaptive-stopping scheduler comparison",
+    )
     args = parser.parse_args(argv)
 
-    from repro.harness.campaign import CampaignConfig, run_campaign
-    from repro.harness.runner import ParallelRunner
+    from repro.harness.campaign import CampaignConfig
 
     config = CampaignConfig(
         benchmarks=(args.benchmark,),
@@ -50,18 +105,90 @@ def main(argv=None) -> int:
         batch_size=max(4, args.trials // 2),
         n_instructions=args.instructions,
     )
-    start = time.perf_counter()
-    report = run_campaign(config, ParallelRunner(jobs=args.jobs, cache=None))
-    elapsed = time.perf_counter() - start
+
+    # -- smoke campaign under both schedulers ------------------------------
+    schedulers = {}
+    reports = {}
+    for scheduler in ("round", "stealing"):
+        report, telemetry, elapsed = _run_once(config, scheduler, args.jobs)
+        reports[scheduler] = report
+        schedulers[scheduler] = _scheduler_entry(report, telemetry, elapsed)
+        print(
+            f"[{scheduler:>8}] {schedulers[scheduler]['trials']} trials "
+            f"in {elapsed:.1f}s "
+            f"({schedulers[scheduler]['trials_per_sec']} trials/sec, "
+            f"jobs={args.jobs})"
+        )
+
+    byte_identical = reports["round"].to_json() == reports["stealing"].to_json()
+    if not byte_identical:
+        print("FAIL: round and stealing reports differ", file=sys.stderr)
+    report = reports["round"]
+
+    # -- adaptive stopping: round barriers vs stealing pipeline ------------
+    adaptive = None
+    if not args.skip_adaptive:
+        adaptive_config = CampaignConfig(
+            benchmarks=(args.benchmark,),
+            schemes=tuple(args.schemes.split(",")),
+            error_rates=(args.error_rate,),
+            trials=args.adaptive_trials,
+            min_trials=8,
+            batch_size=1,
+            target_half_width=1.15e-3,
+            n_instructions=args.adaptive_instructions,
+        )
+        adaptive = {
+            "config": {
+                "trials": adaptive_config.trials,
+                "batch_size": adaptive_config.batch_size,
+                "target_half_width": adaptive_config.target_half_width,
+                "jobs": args.adaptive_jobs,
+            }
+        }
+        adaptive_reports = {}
+        for scheduler in ("round", "stealing"):
+            extra = {"lookahead_batches": 8} if scheduler == "stealing" else {}
+            a_report, a_tel, a_elapsed = _run_once(
+                adaptive_config, scheduler, args.adaptive_jobs, **extra
+            )
+            adaptive_reports[scheduler] = a_report
+            adaptive[scheduler] = _scheduler_entry(a_report, a_tel, a_elapsed)
+        adaptive["byte_identical"] = (
+            adaptive_reports["round"].to_json()
+            == adaptive_reports["stealing"].to_json()
+        )
+        speedup = (
+            adaptive["round"]["elapsed_s"] / adaptive["stealing"]["elapsed_s"]
+            if adaptive["stealing"]["elapsed_s"]
+            else None
+        )
+        adaptive["speedup"] = round(speedup, 2) if speedup else None
+        savings = adaptive["stealing"]["telemetry"].get("cancelled_savings", 0)
+        print(
+            f"[adaptive] round {adaptive['round']['elapsed_s']}s vs "
+            f"stealing {adaptive['stealing']['elapsed_s']}s -> "
+            f"{adaptive['speedup']}x speedup, "
+            f"{savings} cancelled trials saved, "
+            f"byte_identical={adaptive['byte_identical']}"
+        )
+        if not adaptive["byte_identical"]:
+            print("FAIL: adaptive reports differ across schedulers", file=sys.stderr)
+            byte_identical = False
 
     table = report.to_table()
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_campaign.txt").write_text(table + "\n")
-    (RESULTS_DIR / "BENCH_campaign.json").write_text(report.to_json())
+    payload = {
+        "report": json.loads(report.to_json()),
+        "byte_identical": byte_identical,
+        "schedulers": schedulers,
+        "adaptive": adaptive,
+    }
+    (RESULTS_DIR / "BENCH_campaign.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     print(table)
-    total = sum(len(o.ok_records()) for o in report.outcomes)
-    print(f"\n{total} ok trials in {elapsed:.1f}s "
-          f"({total / elapsed:.1f} trials/sec, jobs={args.jobs})")
 
     # Shape check: every ICR cell must be at least as resilient as the
     # baseline cell sharing its (benchmark, error_rate).
@@ -69,7 +196,7 @@ def main(argv=None) -> int:
         o.cell: o.metric_ci("unrecoverable_load_fraction", config)
         for o in report.outcomes
     }
-    ok = True
+    ok = byte_identical
     for cell, ci in ulf.items():
         if ci is None or cell.scheme.startswith("Base"):
             continue

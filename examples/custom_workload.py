@@ -13,6 +13,7 @@ a value heap with poor locality, and a log that is write-only streaming.
 import os
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.harness.report import format_table
 from repro.workloads.generator import WorkloadProfile
 
@@ -45,7 +46,7 @@ def main() -> None:
     base_cycles = None
     for scheme in SCHEMES:
         kwargs = {} if scheme.startswith("Base") else {"decay_window": 1000}
-        r = run_experiment(kv_store, scheme, n_instructions=int(os.environ.get("REPRO_EXAMPLE_N", 120_000)), **kwargs)
+        r = run_experiment(ExperimentSpec.from_kwargs(kv_store, scheme, n_instructions=int(os.environ.get("REPRO_EXAMPLE_N", 120_000)), **kwargs))
         if base_cycles is None:
             base_cycles = r.cycles
         rows.append(

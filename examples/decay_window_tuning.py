@@ -13,6 +13,7 @@ import os
 import sys
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.harness.report import format_table
 
 N_INSTRUCTIONS = int(os.environ.get("REPRO_EXAMPLE_N", 120_000))
@@ -21,15 +22,15 @@ WINDOWS = (0, 100, 250, 1000, 4000, 10000, None)
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "vpr"
-    base = run_experiment(benchmark, "BaseP", n_instructions=N_INSTRUCTIONS)
+    base = run_experiment(ExperimentSpec.from_kwargs(benchmark, "BaseP", n_instructions=N_INSTRUCTIONS))
     rows = []
     for window in WINDOWS:
-        r = run_experiment(
+        r = run_experiment(ExperimentSpec.from_kwargs(
             benchmark,
             "ICR-P-PS(S)",
             n_instructions=N_INSTRUCTIONS,
             decay_window=window,
-        )
+        ))
         rows.append(
             [
                 "off" if window is None else window,

@@ -13,6 +13,7 @@ import os
 import sys
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.core.config import VictimPolicy
 from repro.errors.models import MODELS
 from repro.harness.report import format_table
@@ -38,14 +39,14 @@ def main() -> None:
     for model in MODELS:
         rows = []
         for scheme, kwargs in SCHEMES:
-            r = run_experiment(
+            r = run_experiment(ExperimentSpec.from_kwargs(
                 benchmark,
                 scheme,
                 n_instructions=N_INSTRUCTIONS,
                 error_rate=ERROR_RATE,
                 error_model=model,
                 **kwargs,
-            )
+            ))
             d = r.dl1
             rows.append(
                 [

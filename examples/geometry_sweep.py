@@ -13,6 +13,7 @@ import os
 import sys
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.cache.set_assoc import CacheGeometry
 from repro.harness.report import format_table
 
@@ -27,14 +28,14 @@ def main() -> None:
     for size_kb in SIZES_KB:
         for assoc in ASSOCS:
             geometry = CacheGeometry(size_kb * 1024, assoc, 64)
-            base = run_experiment(
+            base = run_experiment(ExperimentSpec.from_kwargs(
                 benchmark, "BaseP", n_instructions=N_INSTRUCTIONS,
                 geometry=geometry,
-            )
-            icr = run_experiment(
+            ))
+            icr = run_experiment(ExperimentSpec.from_kwargs(
                 benchmark, "ICR-P-PS(S)", n_instructions=N_INSTRUCTIONS,
                 geometry=geometry,
-            )
+            ))
             rows.append(
                 [
                     f"{size_kb}KB/{assoc}w",

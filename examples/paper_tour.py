@@ -10,6 +10,7 @@ narrative end to end and explains each step.  Takes a couple of minutes.
 import os
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.core.config import VictimPolicy
 from repro.harness.report import bar_chart, percent
 
@@ -24,8 +25,8 @@ def step(title: str) -> None:
 def main() -> None:
     step("1. The dilemma: parity is fast but can't correct; ECC corrects "
          "but slows every load (paper Section 1)")
-    base_p = run_experiment("gzip", "BaseP", n_instructions=N)
-    base_ecc = run_experiment("gzip", "BaseECC", n_instructions=N)
+    base_p = run_experiment(ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=N))
+    base_ecc = run_experiment(ExperimentSpec.from_kwargs("gzip", "BaseECC", n_instructions=N))
     print(
         f"BaseP   : CPI {base_p.cpi:.3f}  (1-cycle parity loads, but a flipped\n"
         f"          bit in dirty data is lost forever)\n"
@@ -36,7 +37,7 @@ def main() -> None:
 
     step("2. The idea: dead lines are free space — replicate live data "
          "into them (Sections 2-3)")
-    icr = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=N, **RELAXED)
+    icr = run_experiment(ExperimentSpec.from_kwargs("gzip", "ICR-P-PS(S)", n_instructions=N, **RELAXED))
     print(
         f"ICR-P-PS(S): CPI {icr.cpi:.3f}  "
         f"(+{(icr.cycles / base_p.cycles - 1) * 100:.1f}% over BaseP)\n"
@@ -54,9 +55,9 @@ def main() -> None:
         ("ICR-ECC-PS(S)", RELAXED),
         ("BaseECC", {}),
     ):
-        r = run_experiment(
+        r = run_experiment(ExperimentSpec.from_kwargs(
             "vortex", scheme, n_instructions=max(N // 2, 10_000), error_rate=1e-2, **kwargs
-        )
+        ))
         rows.append((scheme, r.dl1["load_errors_unrecoverable"]))
     print(bar_chart([s for s, _ in rows], [v for _, v in rows], unit=" lost"))
     print("ICR recovers most of what parity alone loses; ECC variants lose"
@@ -64,11 +65,11 @@ def main() -> None:
 
     step("4. The performance twist (Section 5.6, Figure 15): leave replicas "
          "behind and they serve misses")
-    base_mcf = run_experiment("mcf", "BaseP", n_instructions=N)
-    icr_leave = run_experiment(
+    base_mcf = run_experiment(ExperimentSpec.from_kwargs("mcf", "BaseP", n_instructions=N))
+    icr_leave = run_experiment(ExperimentSpec.from_kwargs(
         "mcf", "ICR-P-PS(S)", n_instructions=N,
         leave_replicas_on_evict=True, **RELAXED,
-    )
+    ))
     print(
         f"mcf: ICR-P-PS(S)+leave runs at "
         f"{icr_leave.cycles / base_mcf.cycles:.3f}x BaseP cycles\n"

@@ -12,6 +12,7 @@ import os
 import sys
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.harness.report import percent
 
 
@@ -20,8 +21,8 @@ def main() -> None:
     scheme = sys.argv[2] if len(sys.argv) > 2 else "ICR-P-PS(S)"
 
     print(f"Running {scheme} on synthetic '{benchmark}' (Table 1 machine) ...")
-    result = run_experiment(benchmark, scheme, n_instructions=int(os.environ.get("REPRO_EXAMPLE_N", 150_000)))
-    baseline = run_experiment(benchmark, "BaseP", n_instructions=int(os.environ.get("REPRO_EXAMPLE_N", 150_000)))
+    result = run_experiment(ExperimentSpec.from_kwargs(benchmark, scheme, n_instructions=int(os.environ.get("REPRO_EXAMPLE_N", 150_000))))
+    baseline = run_experiment(ExperimentSpec.from_kwargs(benchmark, "BaseP", n_instructions=int(os.environ.get("REPRO_EXAMPLE_N", 150_000))))
 
     print(f"\n  instructions        : {result.instructions:,}")
     print(f"  execution cycles    : {result.cycles:,}  (CPI {result.cpi:.2f})")

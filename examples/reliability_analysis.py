@@ -14,6 +14,7 @@ import os
 import sys
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.core.config import VictimPolicy
 from repro.harness.report import format_table, percent
 from repro.reliability import fit_consumption_factor, predicted_unrecoverable_rate
@@ -37,20 +38,20 @@ def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "vortex"
     rows = []
     for scheme, kwargs in SCHEMES:
-        analytic = run_experiment(
+        analytic = run_experiment(ExperimentSpec.from_kwargs(
             benchmark,
             scheme,
             n_instructions=N_INSTRUCTIONS,
             measure_vulnerability=True,
             **kwargs,
-        )
-        injected = run_experiment(
+        ))
+        injected = run_experiment(ExperimentSpec.from_kwargs(
             benchmark,
             scheme,
             n_instructions=N_INSTRUCTIONS,
             error_rate=DEMO_RATE,
             **kwargs,
-        )
+        ))
         report = analytic.vulnerability
         estimate = predicted_unrecoverable_rate(report, REALISTIC_RATE)
         factor = fit_consumption_factor(

@@ -13,6 +13,7 @@ import os
 import sys
 
 from repro import ALL_SCHEMES, run_experiment
+from repro import ExperimentSpec
 from repro.harness.figures import AGGRESSIVE, RELAXED
 from repro.harness.report import format_table
 from repro.workloads.spec2000 import BENCHMARKS
@@ -35,7 +36,7 @@ def main() -> None:
         base_cycles = None
         for scheme in ALL_SCHEMES:
             kwargs = {} if scheme.startswith("Base") else knobs
-            r = run_experiment(bench, scheme, n_instructions=N_INSTRUCTIONS, **kwargs)
+            r = run_experiment(ExperimentSpec.from_kwargs(bench, scheme, n_instructions=N_INSTRUCTIONS, **kwargs))
             if base_cycles is None:
                 base_cycles = r.cycles
             rows.append(

@@ -19,6 +19,7 @@ harmless.  Software tells the cache:
 import os
 
 from repro import run_experiment
+from repro import ExperimentSpec
 from repro.core.config import variant
 from repro.core.hints import ReplicationHints
 from repro.core.schemes import make_config
@@ -50,7 +51,7 @@ def main() -> None:
 
     rows = []
     for config in (base_config, hinted_config):
-        r = run_experiment("gzip", config, n_instructions=N_INSTRUCTIONS)
+        r = run_experiment(ExperimentSpec.from_kwargs("gzip", config, n_instructions=N_INSTRUCTIONS))
         d = r.dl1
         rows.append(
             [

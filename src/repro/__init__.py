@@ -11,9 +11,10 @@ CACTI-style energy model, and a per-figure experiment harness.
 
 Quick start::
 
-    from repro import run_experiment
+    from repro import ExperimentSpec, run_experiment
 
-    result = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=100_000)
+    spec = ExperimentSpec("gzip", "ICR-P-PS(S)", n_instructions=100_000)
+    result = run_experiment(spec)
     print(result.loads_with_replica, result.cpi)
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the

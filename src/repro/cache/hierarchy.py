@@ -75,8 +75,8 @@ class MemoryHierarchy:
         if self.config.protected_icache:
             # A parity dL1-style cache with bit-accurate words serves as
             # the protected iL1 (it is only ever read through fetch()).
-            from repro.core.schemes import make_config as _make_config
             from repro.core.icr_cache import ICRCache as _ICRCache
+            from repro.core.schemes import make_config as _make_config
 
             self.l1i = _ICRCache(
                 _make_config(

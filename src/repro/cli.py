@@ -68,14 +68,23 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+def _add_backend_flag(
+    parser: argparse.ArgumentParser, *, allow_auto: bool = False
+) -> None:
+    choices = ("object", "array", "auto") if allow_auto else ("object", "array")
+    extra = (
+        "; 'auto' resolves per campaign cell, preferring 'array' "
+        "wherever the kernel supports the spec"
+        if allow_auto
+        else ""
+    )
     parser.add_argument(
         "--backend",
-        choices=("object", "array"),
+        choices=choices,
         default="object",
         help="simulation kernel: 'object' (the CacheBlock reference "
         "implementation) or 'array' (the struct-of-arrays kernel, "
-        "bit-identical where supported and substantially faster)",
+        f"bit-identical where supported and substantially faster){extra}",
     )
 
 
@@ -224,7 +233,31 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the full campaign report as JSON",
     )
-    _add_backend_flag(campaign)
+    campaign.add_argument(
+        "--scheduler",
+        choices=("round", "stealing"),
+        default="round",
+        help="execution discipline: synchronous rounds, or the "
+        "continuous work-stealing scheduler (identical report, better "
+        "worker utilization, mid-flight convergence cancellation)",
+    )
+    campaign.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="work-stealing only: cap on queued+running trials "
+        "(default 4x the worker count)",
+    )
+    campaign.add_argument(
+        "--share-dir",
+        default=None,
+        metavar="DIR",
+        help="work-stealing only: cooperate with other engines through "
+        "lease/record files in DIR (they partition the cell grid and "
+        "warm each other's caches)",
+    )
+    _add_backend_flag(campaign, allow_auto=True)
     _add_runner_flags(campaign)
 
     return parser
@@ -341,7 +374,7 @@ def _split_flag(values, cast=str) -> list:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.harness.campaign import CampaignConfig, CampaignEngine
+    from repro.harness.campaign import CampaignConfig, create_engine
 
     benchmarks = _split_flag(args.benchmark)
     unknown = [b for b in benchmarks if b not in BENCHMARKS]
@@ -384,12 +417,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     if args.timeout is not None:
         runner.timeout = args.timeout
-    engine = CampaignEngine(
-        config,
-        runner,
+    engine_kwargs = dict(
         checkpoint_path=checkpoint,
         trial_log_path=args.trial_log,
         verbose=True,
+    )
+    if args.scheduler == "stealing":
+        engine_kwargs["max_inflight"] = args.max_inflight
+        engine_kwargs["share_dir"] = args.share_dir
+    engine = create_engine(
+        config, runner, scheduler=args.scheduler, **engine_kwargs
     )
     if engine.resumed:
         print("[campaign] resumed from checkpoint", file=sys.stderr)
@@ -399,8 +436,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             fh.write(report.to_json())
         print(f"[campaign] report written to {args.json}", file=sys.stderr)
+    print(_telemetry_line(engine.telemetry()), file=sys.stderr)
     _report_metrics(runner)
     return 0
+
+
+def _telemetry_line(t: dict) -> str:
+    """One stderr line of scheduler telemetry after a campaign."""
+    line = (
+        f"[campaign] scheduler={t['scheduler']} · "
+        f"{t['trials_committed']} committed · "
+        f"{t['checkpoint_writes']} checkpoint writes"
+    )
+    if t["scheduler"] == "stealing":
+        line += (
+            f" · {t['utilization'] * 100:.0f}% util · "
+            f"{t['steals']} steals · "
+            f"{t['cancelled_savings']} cancelled · "
+            f"{t['speculative_duplicates']} dups"
+        )
+        if t["records_adopted"] or t["helper_trials"]:
+            line += (
+                f" · {t['records_adopted']} adopted · "
+                f"{t['helper_trials']} helper trials"
+            )
+    return line
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:

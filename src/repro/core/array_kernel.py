@@ -61,8 +61,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.cache.set_assoc import CacheGeometry, Eviction
 from repro.cache.hierarchy import DL1Outcome
+from repro.cache.set_assoc import CacheGeometry, Eviction
 from repro.cache.stats import CacheStats
 from repro.coding.protection import ProtectionKind
 from repro.core import _native

@@ -49,7 +49,8 @@ class DeadBlockPredictor:
             return 0
         if self.decay_window == 0:
             return SATURATION_TICKS
-        elapsed_ticks = now // self.tick_period - block.last_access_cycle // self.tick_period
+        last_tick = block.last_access_cycle // self.tick_period
+        elapsed_ticks = now // self.tick_period - last_tick
         return min(SATURATION_TICKS, max(0, elapsed_ticks))
 
     def is_dead(self, block: CacheBlock, now: int) -> bool:

@@ -1,7 +1,6 @@
 """Transient-fault injection: error models and the cycle-based injector."""
 
 from repro.errors.injector import FaultInjector
-from repro.errors.scrubber import Scrubber, ScrubberStats
 from repro.errors.models import (
     MODELS,
     AdjacentModel,
@@ -11,6 +10,7 @@ from repro.errors.models import (
     RandomModel,
     make_model,
 )
+from repro.errors.scrubber import Scrubber, ScrubberStats
 
 __all__ = [
     "FaultInjector",

@@ -9,9 +9,11 @@ from repro.harness.cache import (
     result_to_dict,
 )
 from repro.harness.campaign import (
+    SCHEDULERS,
     CampaignConfig,
     CampaignEngine,
     CampaignReport,
+    create_engine,
     run_campaign,
 )
 from repro.harness.experiment import (
@@ -20,14 +22,9 @@ from repro.harness.experiment import (
     run_experiment,
     run_schemes,
 )
-from repro.harness.spec import (
-    DEFAULT_INSTRUCTIONS,
-    ExperimentSpec,
-    MachineConfig,
-)
 from repro.harness.figures import (
-    ALL_FIGURES,
     AGGRESSIVE,
+    ALL_FIGURES,
     RELAXED,
     FigureResult,
     execution_context,
@@ -38,7 +35,15 @@ from repro.harness.runner import (
     Job,
     ParallelRunner,
     RunnerError,
+    RunnerSession,
     RunnerStats,
+    TrialHandle,
+)
+from repro.harness.scheduler import StealingCampaignEngine
+from repro.harness.spec import (
+    DEFAULT_INSTRUCTIONS,
+    ExperimentSpec,
+    MachineConfig,
 )
 from repro.harness.stats import BootstrapCI, bootstrap_ci
 from repro.harness.sweeps import SweepResult, decay_window_sweep, scheme_sweep, sweep
@@ -50,6 +55,9 @@ __all__ = [
     "CampaignConfig",
     "CampaignEngine",
     "CampaignReport",
+    "SCHEDULERS",
+    "StealingCampaignEngine",
+    "create_engine",
     "run_campaign",
     "BootstrapCI",
     "bootstrap_ci",
@@ -73,7 +81,9 @@ __all__ = [
     "Job",
     "ParallelRunner",
     "RunnerError",
+    "RunnerSession",
     "RunnerStats",
+    "TrialHandle",
     "ResultCache",
     "UncacheableJobError",
     "code_version",

@@ -25,11 +25,21 @@ Design points, in the order a long campaign meets them:
   attempt: the trial is retried with a *fresh* seed (bounded by
   ``max_trial_retries``), and a trial that exhausts its retries is
   recorded as failed in the report instead of aborting the campaign.
-* **Checkpointing.**  After every round the engine atomically writes a
-  JSON checkpoint of all trial records; a new engine pointed at the
+* **Checkpointing.**  The engine atomically writes a JSON checkpoint
+  of all committed trial records on a dirty-count / elapsed-time
+  cadence (and always when a run exits); a new engine pointed at the
   same checkpoint resumes exactly where the interrupted one stopped and
   produces a byte-identical final report (everything downstream of the
   records — bootstrap resampling included — is deterministic).
+* **Two schedulers, one report.**  :class:`CampaignEngine` executes in
+  synchronous rounds; the work-stealing engine in
+  :mod:`repro.harness.scheduler` streams trials continuously and
+  cancels queued work the moment a cell converges.  Because adaptive
+  stopping is only consulted at batch-aligned record counts (a pure
+  function of the committed records, never of completion order or
+  timing), both schedulers commit the *same* trial set and render
+  byte-identical reports — pick with :func:`create_engine` or the
+  ``scheduler=`` argument of :func:`run_campaign`.
 """
 
 from __future__ import annotations
@@ -38,7 +48,9 @@ import hashlib
 import json
 import os
 import sys
+import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
@@ -96,18 +108,24 @@ class CampaignConfig:
     measure_vulnerability: bool = False
     scrub_period: Optional[int] = None
     machine: Optional[MachineConfig] = None
-    #: Simulation kernel for every trial ("object" | "array"); part of
-    #: the campaign digest, so an object-backend checkpoint can never be
-    #: resumed by an array-backend campaign (or vice versa).
+    #: Simulation kernel for every trial ("object" | "array" | "auto");
+    #: part of the campaign digest, so an object-backend checkpoint can
+    #: never be resumed by an array-backend campaign (or vice versa).
+    #: "auto" resolves per cell: trials whose spec the array kernel can
+    #: honor (per :func:`repro.core.array_kernel.backend_mode`) run with
+    #: ``backend="array"``, everything else falls back to "object" —
+    #: the resolution is a pure function of the cell, so it never
+    #: depends on which scheduler (or host) runs the trial.
     backend: str = "object"
     #: Extra scheme kwargs applied to non-Base schemes (e.g. the relaxed
     #: decay/victim knobs); normalized to a sorted tuple of pairs.
     scheme_kwargs: tuple = ()
 
     def __post_init__(self):
-        if self.backend not in ("object", "array"):
+        if self.backend not in ("object", "array", "auto"):
             raise ValueError(
-                f"unknown backend {self.backend!r}; choose 'object' or 'array'"
+                f"unknown backend {self.backend!r}; "
+                "choose 'object', 'array' or 'auto'"
             )
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
         # Scheme names resolve through the registry: canonical spelling
@@ -164,6 +182,35 @@ class CampaignConfig:
         attempt): distinct cells never share seeds, and a retry after a
         crash gets a genuinely fresh seed rather than a neighbour.
         """
+        return self._spec(cell, index, attempt, self.trial_backend(cell))
+
+    def trial_backend(self, cell: Cell) -> str:
+        """The concrete kernel a cell's trials run ("object" | "array").
+
+        With ``backend="auto"`` this is the backend-aware dispatch:
+        prefer the array kernel wherever
+        :func:`~repro.core.array_kernel.backend_mode` reports it can
+        honor the spec (a per-cell property — every field the
+        eligibility predicates read is cell-constant), fall back to the
+        object kernel per cell otherwise.
+        """
+        if self.backend != "auto":
+            return self.backend
+        return "array" if self.trial_mode(cell) != "object" else "object"
+
+    def trial_mode(self, cell: Cell) -> str:
+        """The kernel tier the cell's trials execute on.
+
+        One of ``array-batched`` / ``array-soa`` / ``object`` — the
+        scheduler's per-backend latency telemetry is keyed by this.
+        """
+        if self.backend == "object":
+            return "object"
+        return _trial_mode(self, cell)
+
+    def _spec(
+        self, cell: Cell, index: int, attempt: int, backend: str
+    ) -> ExperimentSpec:
         # The shared scheme kwargs are the ICR design-space knobs (e.g.
         # the relaxed decay/victim settings); the registry's metadata
         # says which schemes they mean anything to — base schemes and
@@ -186,9 +233,17 @@ class CampaignConfig:
             ),
             measure_vulnerability=self.measure_vulnerability,
             scrub_period=self.scrub_period,
-            backend=self.backend,
+            backend=backend,
             scheme_kwargs=scheme_kwargs,
         )
+
+
+@lru_cache(maxsize=4096)
+def _trial_mode(config: CampaignConfig, cell: Cell) -> str:
+    """Memoized kernel-tier probe (``backend_mode`` builds a config)."""
+    from repro.core.array_kernel import backend_mode
+
+    return backend_mode(config._spec(cell, 0, 0, "array"))
 
 
 @dataclass
@@ -417,10 +472,21 @@ class CampaignEngine:
         Optional JSONL file appended with one line per finished trial
         attempt — the full :meth:`SimulationResult.to_dict` payload for
         successes, the error text for failures.
+    checkpoint_every_trials / checkpoint_interval:
+        Checkpoint write cadence: a write happens at the next
+        opportunity once *checkpoint_every_trials* records are dirty
+        **or** *checkpoint_interval* seconds have elapsed since the
+        last write, whichever comes first — large campaigns stop
+        serializing the full record set after every handful of trials.
+        A run always flushes on exit (completion or early stop), so
+        resumability never depends on the cadence.
     verbose:
         When true, one progress line per round goes to *stream*
         (default ``sys.stderr``).
     """
+
+    #: Which scheduling discipline this engine implements (telemetry).
+    SCHEDULER = "round"
 
     def __init__(
         self,
@@ -429,6 +495,8 @@ class CampaignEngine:
         *,
         checkpoint_path: Union[str, Path, None] = None,
         trial_log_path: Union[str, Path, None] = None,
+        checkpoint_every_trials: int = 32,
+        checkpoint_interval: float = 10.0,
         verbose: bool = False,
         stream=None,
     ):
@@ -436,6 +504,8 @@ class CampaignEngine:
         self.runner = runner if runner is not None else ParallelRunner(jobs=1)
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         self.trial_log_path = Path(trial_log_path) if trial_log_path else None
+        self.checkpoint_every_trials = max(1, checkpoint_every_trials)
+        self.checkpoint_interval = checkpoint_interval
         self.verbose = verbose
         self.stream = stream if stream is not None else sys.stderr
         self.digest = config.digest()
@@ -444,6 +514,9 @@ class CampaignEngine:
         }
         self.rounds_run = 0
         self.resumed = False
+        self.checkpoint_writes = 0
+        self._dirty_records = 0
+        self._last_checkpoint = time.monotonic()
         if self.checkpoint_path is not None:
             self.resumed = self._load_checkpoint()
 
@@ -456,9 +529,22 @@ class CampaignEngine:
         return 1 + max(r.index for r in outcome.records)
 
     def _cell_done(self, outcome: CellOutcome) -> bool:
-        if self._next_index(outcome) >= self.config.trials:
+        """Pure stopping rule shared by every scheduler.
+
+        Adaptive stopping is only consulted at *batch-aligned* record
+        counts (multiples of ``batch_size``).  That makes the decision a
+        function of the committed records alone — independent of which
+        scheduler produced them, of completion order, and of where a
+        checkpoint happened to land — which is the invariant behind the
+        round/stealing byte-identical-report contract and behind
+        resuming a mid-batch checkpoint under either scheduler.
+        """
+        next_index = self._next_index(outcome)
+        if next_index >= self.config.trials:
             return True
         if self.config.target_half_width is None:
+            return False
+        if next_index % self.config.batch_size != 0:
             return False
         values = outcome.metric_values(STOPPING_METRIC)
         if len(values) < self.config.min_trials:
@@ -469,6 +555,16 @@ class CampaignEngine:
             return True
         return False
 
+    def _batch_stop(self, start: int) -> int:
+        """End of the batch containing *start* (batch-grid aligned).
+
+        Aligning to the global batch grid — rather than ``start +
+        batch_size`` — keeps batch boundaries identical when a resume
+        starts from a mid-batch checkpoint.
+        """
+        b = self.config.batch_size
+        return min(b * (start // b + 1), self.config.trials)
+
     def _schedule_round(self) -> list[tuple[Cell, int, int]]:
         """(cell, trial index, attempt 0) tuples for the next round."""
         work = []
@@ -477,8 +573,9 @@ class CampaignEngine:
             if self._cell_done(outcome):
                 continue
             start = self._next_index(outcome)
-            stop = min(start + self.config.batch_size, self.config.trials)
-            work.extend((cell, index, 0) for index in range(start, stop))
+            work.extend(
+                (cell, index, 0) for index in range(start, self._batch_stop(start))
+            )
         return work
 
     # -- execution --------------------------------------------------------
@@ -490,21 +587,26 @@ class CampaignEngine:
         built after an early stop is marked ``complete=False``.
         """
         rounds = 0
-        while max_rounds is None or rounds < max_rounds:
-            work = self._schedule_round()
-            if not work:
-                break
-            self._run_round(work)
-            rounds += 1
-            self.rounds_run += 1
-            self._write_checkpoint()
-            if self.verbose:
-                done = sum(len(o.ok_records()) for o in self.outcomes.values())
-                print(
-                    f"[campaign] round {self.rounds_run}: "
-                    f"{done} ok trials across {len(self.outcomes)} cells",
-                    file=self.stream,
-                )
+        try:
+            while max_rounds is None or rounds < max_rounds:
+                work = self._schedule_round()
+                if not work:
+                    break
+                self._run_round(work)
+                rounds += 1
+                self.rounds_run += 1
+                self._maybe_checkpoint()
+                if self.verbose:
+                    done = sum(
+                        len(o.ok_records()) for o in self.outcomes.values()
+                    )
+                    print(
+                        f"[campaign] round {self.rounds_run}: "
+                        f"{done} ok trials across {len(self.outcomes)} cells",
+                        file=self.stream,
+                    )
+        finally:
+            self._maybe_checkpoint(force=True)
         return self.report()
 
     def _run_round(self, work: list[tuple[Cell, int, int]]) -> None:
@@ -517,32 +619,68 @@ class CampaignEngine:
             results = self.runner.run(jobs, on_error="return")
             retries: list[tuple[Cell, int, int]] = []
             for (cell, index, attempt), job, result in zip(work, jobs, results):
-                seed = self.config.trial_spec(cell, index, attempt).error_seed
-                if isinstance(result, RunnerError):
-                    record = TrialRecord(
-                        index=index,
-                        attempt=attempt,
-                        error_seed=seed,
-                        status="failed",
-                        error=_last_line(result.detail),
-                    )
-                    self.outcomes[cell].records.append(record)
-                    self._log_trial(cell, record, None)
-                    if attempt < self.config.max_trial_retries:
-                        retries.append((cell, index, attempt + 1))
-                else:
-                    record = TrialRecord(
-                        index=index,
-                        attempt=attempt,
-                        error_seed=seed,
-                        status="ok",
-                        metrics=trial_metrics(result),
-                    )
-                    self.outcomes[cell].records.append(record)
-                    self._log_trial(cell, record, result)
+                self._record(cell, index, attempt, result)
+                if (
+                    isinstance(result, RunnerError)
+                    and attempt < self.config.max_trial_retries
+                ):
+                    retries.append((cell, index, attempt + 1))
             work = retries
 
+    def _record(self, cell: Cell, index: int, attempt: int, result) -> None:
+        """Commit one trial attempt's outcome (shared by all schedulers)."""
+        seed = self.config.trial_spec(cell, index, attempt).error_seed
+        if isinstance(result, RunnerError):
+            record = TrialRecord(
+                index=index,
+                attempt=attempt,
+                error_seed=seed,
+                status="failed",
+                error=_last_line(result.detail),
+            )
+            self.outcomes[cell].records.append(record)
+            self._log_trial(cell, record, None)
+        else:
+            record = TrialRecord(
+                index=index,
+                attempt=attempt,
+                error_seed=seed,
+                status="ok",
+                metrics=trial_metrics(result),
+            )
+            self.outcomes[cell].records.append(record)
+            self._log_trial(cell, record, result)
+        self._dirty_records += 1
+
     # -- persistence ------------------------------------------------------
+
+    def _maybe_checkpoint(self, force: bool = False) -> None:
+        """Write a checkpoint when the cadence thresholds say so.
+
+        Serializing every record after every handful of trials is
+        O(trials²) over a campaign; batching the write behind a
+        dirty-count / elapsed-time threshold caps that cost while
+        bounding the work an interrupt can lose.  ``force`` flushes
+        unconditionally (run exit).
+        """
+        if self.checkpoint_path is None or (not force and not self._dirty_records):
+            return
+        if not force:
+            due = (
+                self._dirty_records >= self.checkpoint_every_trials
+                or time.monotonic() - self._last_checkpoint
+                >= self.checkpoint_interval
+            )
+            if not due:
+                return
+        self._write_checkpoint()
+
+    def _checkpoint_records(self) -> dict[str, list[dict]]:
+        """The record lists a checkpoint persists (committed state)."""
+        return {
+            cell.id: [r.to_dict() for r in outcome.records]
+            for cell, outcome in self.outcomes.items()
+        }
 
     def _write_checkpoint(self) -> None:
         if self.checkpoint_path is None:
@@ -551,16 +689,16 @@ class CampaignEngine:
             "format": CAMPAIGN_FORMAT,
             "campaign": self.digest,
             "rounds": self.rounds_run,
-            "cells": {
-                cell.id: [r.to_dict() for r in outcome.records]
-                for cell, outcome in self.outcomes.items()
-            },
+            "cells": self._checkpoint_records(),
         }
         path = self.checkpoint_path
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, path)
+        self.checkpoint_writes += 1
+        self._dirty_records = 0
+        self._last_checkpoint = time.monotonic()
 
     def _load_checkpoint(self) -> bool:
         """Adopt a matching checkpoint; ignore missing/stale/corrupt ones."""
@@ -626,6 +764,29 @@ class CampaignEngine:
             complete=complete,
         )
 
+    def telemetry(self) -> dict[str, Any]:
+        """Scheduler/runner counters for benchmarks and the CLI.
+
+        Deliberately *not* part of :class:`CampaignReport` — telemetry
+        depends on timing and scheduling, while the report is
+        byte-identical across schedulers, worker counts and resumes.
+        """
+        committed = sum(len(o.records) for o in self.outcomes.values())
+        return {
+            "scheduler": self.SCHEDULER,
+            "trials_committed": committed,
+            "rounds": self.rounds_run,
+            "checkpoint_writes": self.checkpoint_writes,
+            "runner": {
+                "jobs": self.runner.stats.jobs,
+                "cache_hits": self.runner.stats.cache_hits,
+                "simulated": self.runner.stats.simulated,
+                "retries": self.runner.stats.retries,
+                "cancelled": self.runner.stats.cancelled,
+                "elapsed": self.runner.stats.elapsed,
+            },
+        }
+
 
 def _last_line(detail: str) -> str:
     """The final non-empty line of a traceback (the exception itself)."""
@@ -633,10 +794,44 @@ def _last_line(detail: str) -> str:
     return lines[-1].strip() if lines else "unknown error"
 
 
+#: The scheduling disciplines :func:`create_engine` knows how to build.
+SCHEDULERS = ("round", "stealing")
+
+
+def create_engine(
+    config: CampaignConfig,
+    runner: Optional[ParallelRunner] = None,
+    *,
+    scheduler: str = "round",
+    **engine_kwargs: Any,
+):
+    """Build the campaign engine implementing *scheduler*.
+
+    ``"round"`` is the synchronous round-barrier
+    :class:`CampaignEngine`; ``"stealing"`` is the continuous
+    work-stealing engine of :mod:`repro.harness.scheduler`
+    (identical reports, better worker utilization, mid-flight
+    cancellation, optional multi-host cooperation).
+    """
+    if scheduler == "round":
+        return CampaignEngine(config, runner, **engine_kwargs)
+    if scheduler == "stealing":
+        from repro.harness.scheduler import StealingCampaignEngine
+
+        return StealingCampaignEngine(config, runner, **engine_kwargs)
+    raise ValueError(
+        f"unknown scheduler {scheduler!r}; choose one of {', '.join(SCHEDULERS)}"
+    )
+
+
 def run_campaign(
     config: CampaignConfig,
     runner: Optional[ParallelRunner] = None,
+    *,
+    scheduler: str = "round",
     **engine_kwargs: Any,
 ) -> CampaignReport:
     """Convenience one-shot: build an engine, run it, return the report."""
-    return CampaignEngine(config, runner, **engine_kwargs).run()
+    return create_engine(
+        config, runner, scheduler=scheduler, **engine_kwargs
+    ).run()

@@ -11,17 +11,16 @@ The primary calling convention is spec-based::
     result = run_experiment(spec)
 
 The historical keyword form (``run_experiment(benchmark, scheme, **kw)``)
-is kept as a thin deprecated shim that builds the equivalent
-:class:`~repro.harness.spec.ExperimentSpec` — both forms produce
+has been removed; :meth:`ExperimentSpec.from_kwargs` builds the
+equivalent spec for callers migrating off it — both routes produce
 bit-identical results and share one cache identity.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
-from typing import Any, Optional, Union
+from typing import Optional, Union
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core import array_kernel
@@ -183,38 +182,23 @@ def _vulnerability_from_dict(data: dict):
     )
 
 
-def run_experiment(
-    benchmark: Union[ExperimentSpec, str, WorkloadProfile],
-    scheme: Union[str, ICRConfig, None] = None,
-    **kwargs: Any,
-) -> SimulationResult:
+def run_experiment(spec: ExperimentSpec) -> SimulationResult:
     """Run one experiment on the Table 1 machine.
 
-    Primary form: ``run_experiment(spec)`` with an
-    :class:`~repro.harness.spec.ExperimentSpec`.
-
-    Deprecated form: ``run_experiment(benchmark, scheme, **kwargs)`` —
-    kept for existing call sites; it builds the equivalent spec via
-    :meth:`ExperimentSpec.from_kwargs` and produces identical results.
-    A nonzero ``error_rate`` turns on bit-accurate storage and per-cycle
+    Takes an :class:`~repro.harness.spec.ExperimentSpec` — the sole
+    entry point since the removal of the deprecated
+    ``run_experiment(benchmark, scheme, **kwargs)`` keyword form (build
+    the equivalent spec with :meth:`ExperimentSpec.from_kwargs`).  A
+    nonzero ``error_rate`` turns on bit-accurate storage and per-cycle
     Bernoulli fault injection (Section 5.5).
     """
-    if isinstance(benchmark, ExperimentSpec):
-        if scheme is not None or kwargs:
-            raise TypeError(
-                "run_experiment(spec) takes no further arguments; "
-                "derive a new spec with spec.replace(...)"
-            )
-        return _run_spec(benchmark)
-    if scheme is None:
-        raise TypeError("run_experiment needs an ExperimentSpec or a scheme")
-    warnings.warn(
-        "run_experiment(benchmark, scheme, **kwargs) is deprecated; "
-        "build an ExperimentSpec and call run_experiment(spec)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_spec(ExperimentSpec.from_kwargs(benchmark, scheme, **kwargs))
+    if not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            "run_experiment takes an ExperimentSpec; the keyword form "
+            "was removed — use ExperimentSpec.from_kwargs(benchmark, "
+            "scheme, **kwargs)"
+        )
+    return _run_spec(spec)
 
 
 def _run_spec(spec: ExperimentSpec) -> SimulationResult:
@@ -365,7 +349,9 @@ def run_schemes(
     return results
 
 
-def normalized_cycles(results: dict[str, SimulationResult], base: str = "BaseP") -> dict[str, float]:
+def normalized_cycles(
+    results: dict[str, SimulationResult], base: str = "BaseP"
+) -> dict[str, float]:
     """Execution cycles of each scheme relative to *base* (Figure 9 style)."""
     base_cycles = results[base].cycles
     return {name: r.cycles / base_cycles for name, r in results.items()}

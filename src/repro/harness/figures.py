@@ -28,6 +28,7 @@ from repro.harness.experiment import (
 )
 from repro.harness.report import format_table
 from repro.harness.runner import Job, ParallelRunner
+from repro.harness.spec import ExperimentSpec
 from repro.workloads.spec2000 import BENCHMARKS
 
 #: Shared kwargs for the two standard configurations.
@@ -128,7 +129,9 @@ def execution_context(engine):
 def _run(bench, scheme, n, **kwargs):
     if _CONTEXT is not None:
         return _CONTEXT.run_one(bench, scheme, n_instructions=n, **kwargs)
-    return run_experiment(bench, scheme, n_instructions=n, **kwargs)
+    return run_experiment(
+        ExperimentSpec.from_kwargs(bench, scheme, n_instructions=n, **kwargs)
+    )
 
 
 class _Probe(float):
@@ -235,14 +238,19 @@ def run_figure(
 # ---------------------------------------------------------------------------
 
 
-def figure_01(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_01(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Replication ability: single vs multiple placement attempts."""
     result = FigureResult(
         "Fig 1",
         "Replication ability, single vs multiple attempts, ICR-P-PS(S)",
         "multiple attempts (N/2 then N/4) raise the replication ability",
         ["benchmark", "single_attempt", "multi_attempt"],
-        verdict="REPRODUCED — multi-attempt ability exceeds single-attempt on every benchmark; absolute levels are workload-dependent.",
+        verdict=(
+            "REPRODUCED — multi-attempt ability exceeds single-attempt on every "
+            "benchmark; absolute levels are workload-dependent."
+        ),
     )
     for bench in benchmarks:
         single = _run(bench, "ICR-P-PS(S)", n, **AGGRESSIVE)
@@ -255,14 +263,20 @@ def figure_01(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
     return result
 
 
-def figure_02(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_02(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Loads with replica: single vs multiple placement attempts."""
     result = FigureResult(
         "Fig 2",
         "Loads with replica, single vs multiple attempts, ICR-P-PS(S)",
         "negligible improvement from multiple attempts (hot data already replicated)",
         ["benchmark", "single_attempt", "multi_attempt"],
-        verdict="REPRODUCED — the loads-with-replica gain from multiple attempts is far smaller than the ability gain (slightly larger than the paper's 'negligible').",
+        verdict=(
+            "REPRODUCED — the loads-with-replica gain from multiple attempts is far "
+            "smaller than the ability gain (slightly larger than the paper's "
+            "'negligible')."
+        ),
     )
     for bench in benchmarks:
         single = _run(bench, "ICR-P-PS(S)", n, **AGGRESSIVE)
@@ -273,14 +287,19 @@ def figure_02(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
     return result
 
 
-def figure_03(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_03(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Ability to create one vs two replicas (second at Distance-N/4)."""
     result = FigureResult(
         "Fig 3",
         "Replication ability for one vs two replicas, ICR-P-PS(S)",
         "a second copy can be created around 12% of the time on average",
         ["benchmark", "one_replica", "two_replicas"],
-        verdict="REPRODUCED — a second replica is placeable a minority of the time, in the paper's ~12%-average regime.",
+        verdict=(
+            "REPRODUCED — a second replica is placeable a minority of the time, in the "
+            "paper's ~12%-average regime."
+        ),
     )
     for bench in benchmarks:
         two = _run(
@@ -296,14 +315,19 @@ def figure_03(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
     return result
 
 
-def figure_04(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_04(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """dL1 miss rates with one vs two replicas."""
     result = FigureResult(
         "Fig 4",
         "Miss rates, single vs two replicas, ICR-P-PS(S)",
         "extra copies evict useful blocks and worsen miss rates (mesa nearly doubles)",
         ["benchmark", "one_replica", "two_replicas"],
-        verdict="REPRODUCED — the second replica's displacement raises miss rates on every benchmark.",
+        verdict=(
+            "REPRODUCED — the second replica's displacement raises miss rates on every "
+            "benchmark."
+        ),
     )
     for bench in benchmarks:
         one = _run(bench, "ICR-P-PS(S)", n, **AGGRESSIVE)
@@ -319,14 +343,19 @@ def figure_04(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
     return result
 
 
-def figure_05(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_05(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Vertical (Distance-N/2) vs horizontal (Distance-0) replication."""
     result = FigureResult(
         "Fig 5",
         "Loads with replica, vertical vs horizontal replication, ICR-P-PS(S)",
         "little difference between Distance-N/2 and Distance-0",
         ["benchmark", "vertical_N/2", "horizontal_0"],
-        verdict="REPRODUCED — vertical and horizontal replication are nearly indistinguishable.",
+        verdict=(
+            "REPRODUCED — vertical and horizontal replication are nearly "
+            "indistinguishable."
+        ),
     )
     for bench in benchmarks:
         vertical = _run(bench, "ICR-P-PS(S)", n, **AGGRESSIVE)
@@ -344,14 +373,19 @@ def figure_05(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
 # ---------------------------------------------------------------------------
 
 
-def figure_06(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_06(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Replication ability: LS (misses + stores) vs S (stores only)."""
     result = FigureResult(
         "Fig 6",
         "Replication ability, ICR-*(LS) vs ICR-*(S)",
         "LS replicates more data than S",
         ["benchmark", "LS", "S"],
-        verdict="PARTIAL — LS >= S holds on most benchmarks; per-benchmark magnitudes differ from the paper's.",
+        verdict=(
+            "PARTIAL — LS >= S holds on most benchmarks; per-benchmark magnitudes "
+            "differ from the paper's."
+        ),
     )
     for bench in benchmarks:
         ls = _run(bench, "ICR-P-PS(LS)", n, **AGGRESSIVE)
@@ -360,14 +394,20 @@ def figure_06(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
     return result
 
 
-def figure_07(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_07(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Loads with replica: LS vs S."""
     result = FigureResult(
         "Fig 7",
         "Loads with replica, ICR-*(LS) vs ICR-*(S)",
         "over 65% of read hits find replicas with S, over 90% with LS (max in mcf)",
         ["benchmark", "LS", "S"],
-        verdict="PARTIAL — S covers the majority of read hits (~0.5-0.8) and LS >= S per benchmark, but LS stays below the paper's >90% (flatter synthetic reuse skew; see the header notes).",
+        verdict=(
+            "PARTIAL — S covers the majority of read hits (~0.5-0.8) and LS >= S per "
+            "benchmark, but LS stays below the paper's >90% (flatter synthetic reuse "
+            "skew; see the header notes)."
+        ),
     )
     for bench in benchmarks:
         ls = _run(bench, "ICR-P-PS(LS)", n, **AGGRESSIVE)
@@ -376,7 +416,9 @@ def figure_07(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
     return result
 
 
-def figure_08(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_08(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """dL1 miss rates: Base vs ICR-*(LS) vs ICR-*(S)."""
     result = FigureResult(
         "Fig 8",
@@ -404,7 +446,11 @@ def figure_09(
         "Normalized execution cycles, all schemes, aggressive dead-block prediction",
         "BaseECC/ICR-*-PP 25-45% over BaseP; ICR-P-PS(S) +3.6%, ICR-ECC-PS(S) +21% avg",
         ["benchmark"] + list(schemes),
-        verdict="REPRODUCED (orderings) — BaseP < ICR-P-PS < ICR-ECC-PS < PP-schemes ~ BaseECC; the BaseECC magnitude is ~half the paper's +31% (see header notes).",
+        verdict=(
+            "REPRODUCED (orderings) — BaseP < ICR-P-PS < ICR-ECC-PS < PP-schemes ~ "
+            "BaseECC; the BaseECC magnitude is ~half the paper's +31% (see header "
+            "notes)."
+        ),
     )
     for bench in benchmarks:
         base_cycles: Optional[int] = None
@@ -432,7 +478,10 @@ def figure_10(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vpr") -> FigureRe
         f"Replication ability / loads with replica vs decay window ({benchmark})",
         "ability falls with larger windows; loads-with-replica barely moves",
         ["decay_window", "replication_ability", "loads_with_replica"],
-        verdict="REPRODUCED — ability falls steadily with the window; loads-with-replica barely moves.",
+        verdict=(
+            "REPRODUCED — ability falls steadily with the window; loads-with-replica "
+            "barely moves."
+        ),
     )
     for window in DECAY_WINDOWS:
         r = _run(
@@ -453,7 +502,10 @@ def figure_11(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vpr") -> FigureRe
         f"Normalized execution cycles vs decay window ({benchmark})",
         "ICR-P-PS(S) < 4% over BaseP at 1000 cycles, ~1.7% at 10000",
         ["decay_window", "ICR-P-PS(S)", "ICR-ECC-PS(S)"],
-        verdict="REPRODUCED — ICR-P-PS(S) within a few percent of BaseP at 1000 cycles, closer at 10000.",
+        verdict=(
+            "REPRODUCED — ICR-P-PS(S) within a few percent of BaseP at 1000 cycles, "
+            "closer at 10000."
+        ),
     )
     base = _run(benchmark, "BaseP", n)
     for window in DECAY_WINDOWS:
@@ -475,14 +527,19 @@ def figure_11(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vpr") -> FigureRe
     return result
 
 
-def figure_12(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_12(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Normalized cycles with the relaxed (1000-cycle) configuration."""
     result = FigureResult(
         "Fig 12",
         "Normalized execution cycles, decay window 1000, dead-first victim",
         "avg over BaseP: BaseECC +30.9%, ICR-P-PS(S) +2.4%, ICR-ECC-PS(S) +10.2%",
         ["benchmark", "BaseP", "BaseECC", "ICR-P-PS(S)", "ICR-ECC-PS(S)"],
-        verdict="REPRODUCED (orderings and small-overhead claims) — ICR-ECC recovers most of BaseECC's loss.",
+        verdict=(
+            "REPRODUCED (orderings and small-overhead claims) — ICR-ECC recovers most "
+            "of BaseECC's loss."
+        ),
     )
     for bench in benchmarks:
         base = _run(bench, "BaseP", n)
@@ -501,14 +558,19 @@ def figure_12(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
     return result
 
 
-def figure_13(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_13(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Replication ability / loads-with-replica: window 1000 vs 0."""
     result = FigureResult(
         "Fig 13",
         "Replication ability and loads with replica, decay window 1000 vs 0",
         "loads-with-replica barely changes even though ability differs",
         ["benchmark", "ability_w0", "ability_w1000", "lwr_w0", "lwr_w1000"],
-        verdict="REPRODUCED — coverage is insensitive to the window even where ability is not.",
+        verdict=(
+            "REPRODUCED — coverage is insensitive to the window even where ability is "
+            "not."
+        ),
     )
     for bench in benchmarks:
         w0 = _run(bench, "ICR-P-PS(S)", n, **AGGRESSIVE)
@@ -549,9 +611,15 @@ def figure_14(
     result = FigureResult(
         "Fig 14",
         f"Percentage of unrecoverable loads ({benchmark}, {model} model)",
-        "ICR schemes are far more resilient than BaseP; BaseECC corrects all 1-bit errors",
+        (
+            "ICR schemes are far more resilient than BaseP; BaseECC corrects all 1-bit "
+            "errors"
+        ),
         ["error_rate", "BaseP", "ICR-P-PS(S)", "ICR-ECC-PS(S)", "BaseECC"],
-        verdict="REPRODUCED — ICR-P far more resilient than BaseP at every rate; ICR-ECC near zero; BaseECC loses only accumulated doubles at extreme rates.",
+        verdict=(
+            "REPRODUCED — ICR-P far more resilient than BaseP at every rate; ICR-ECC "
+            "near zero; BaseECC loses only accumulated doubles at extreme rates."
+        ),
     )
     for rate in error_rates:
         row: list = [rate]
@@ -579,14 +647,23 @@ def figure_14(
 # ---------------------------------------------------------------------------
 
 
-def figure_15(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_15(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Normalized cycles when replicas are left in dL1 on primary eviction."""
     result = FigureResult(
         "Fig 15",
         "Normalized execution cycles with replicas used for performance",
-        "ICR-*-PS(S) matches BaseP nearly everywhere and beats it in mcf/vpr (up to 24%)",
+        (
+            "ICR-*-PS(S) matches BaseP nearly everywhere and beats it in mcf/vpr (up "
+            "to 24%)"
+        ),
         ["benchmark", "BaseP", "BaseECC", "ICR-P-PS(S)+leave", "ICR-ECC-PS(S)+leave"],
-        verdict="PARTIAL — direction reproduced (ICR+leave matches BaseP everywhere and beats it on mcf); the mcf win is a few percent rather than up to 24% (see header notes).",
+        verdict=(
+            "PARTIAL — direction reproduced (ICR+leave matches BaseP everywhere and "
+            "beats it on mcf); the mcf win is a few percent rather than up to 24% (see "
+            "header notes)."
+        ),
     )
     for bench in benchmarks:
         base = _run(bench, "BaseP", n)
@@ -614,14 +691,19 @@ def figure_15(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
 # ---------------------------------------------------------------------------
 
 
-def figure_16(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_16(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Write-through BaseP vs write-back ICR-P-PS(S): cycles and energy."""
     result = FigureResult(
         "Fig 16",
         "Write-through BaseP normalized to write-back ICR-P-PS(S)",
         "ICR is ~5.7% faster on average; WT spends >2x the L1+L2 energy",
         ["benchmark", "wt_cycles_ratio", "wt_energy_ratio"],
-        verdict="REPRODUCED — write-through costs cycles (stalls) and much more L1+L2 energy than write-back ICR.",
+        verdict=(
+            "REPRODUCED — write-through costs cycles (stalls) and much more L1+L2 "
+            "energy than write-back ICR."
+        ),
     )
     for bench in benchmarks:
         icr = _run(bench, "ICR-P-PS(S)", n, **RELAXED)
@@ -641,7 +723,9 @@ def figure_16(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
 # ---------------------------------------------------------------------------
 
 
-def figure_17(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def figure_17(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """Speculative-load BaseECC vs performance-optimized ICR-P-PS(S)."""
     from repro.harness.experiment import MachineConfig
 
@@ -656,7 +740,10 @@ def figure_17(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
             "energy_ratio_15_30",
             "energy_ratio_10_30",
         ],
-        verdict="REPRODUCED — speculative BaseECC recovers the cycles but not the check energy; the gap grows at 10:30.",
+        verdict=(
+            "REPRODUCED — speculative BaseECC recovers the cycles but not the check "
+            "energy; the gap grows at 10:30."
+        ),
     )
     machine_15 = MachineConfig(parity_fraction=0.15, ecc_fraction=0.30)
     machine_10 = MachineConfig(parity_fraction=0.10, ecc_fraction=0.30)
@@ -695,7 +782,9 @@ def figure_17(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMA
 # ---------------------------------------------------------------------------
 
 
-def ablation_distance(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip") -> FigureResult:
+def ablation_distance(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip"
+) -> FigureResult:
     """Distance-N/2 vs Distance-7 vs Distance-N/4 (text of Section 5.1)."""
     result = FigureResult(
         "Ablation A1",
@@ -713,7 +802,9 @@ def ablation_distance(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip") ->
     return result
 
 
-def ablation_victim_policy(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gcc") -> FigureResult:
+def ablation_victim_policy(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gcc"
+) -> FigureResult:
     """All four victim policies (Section 3.1)."""
     result = FigureResult(
         "Ablation A2",
@@ -735,7 +826,9 @@ def ablation_victim_policy(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gcc"
     return result
 
 
-def ablation_cache_params(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vpr") -> FigureResult:
+def ablation_cache_params(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vpr"
+) -> FigureResult:
     """Cache size / associativity sensitivity (Section 5.7)."""
     from repro.cache.set_assoc import CacheGeometry
 
@@ -791,7 +884,9 @@ ALL_FIGURES: dict[str, Callable[..., FigureResult]] = {
 # ---------------------------------------------------------------------------
 
 
-def comparison_rcache(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def comparison_rcache(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """ICR coverage vs a dedicated Kim & Somani-style duplicate cache.
 
     The R-Cache side runs through the registered ``rcache`` scheme, so
@@ -815,7 +910,9 @@ def comparison_rcache(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] =
     return result
 
 
-def comparison_victim_cache(n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS) -> FigureResult:
+def comparison_victim_cache(
+    n: int = DEFAULT_INSTRUCTIONS, benchmarks: Sequence[str] = BENCHMARKS
+) -> FigureResult:
     """ICR leave-in-place mode vs a dedicated 16-entry victim cache.
 
     The victim-cache side runs through the registered ``victim-cache``
@@ -854,12 +951,15 @@ def comparison_area(n: int = DEFAULT_INSTRUCTIONS) -> FigureResult:
     )
     for row in compare_reliability_areas(CacheGeometry(16 * 1024, 4, 64)):
         result.rows.append(
-            [row.option, row.extra_bits, row.extra_leakage_nw, row.extra_fraction_of_dl1]
+            [row.option, row.extra_bits, row.extra_leakage_nw,
+             row.extra_fraction_of_dl1]
         )
     return result
 
 
-def ablation_pipeline(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip") -> FigureResult:
+def ablation_pipeline(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip"
+) -> FigureResult:
     """BaseECC's relative penalty across out-of-order window sizes."""
     from repro.cpu.pipeline import PipelineConfig
     from repro.harness.experiment import MachineConfig
@@ -884,7 +984,9 @@ def ablation_pipeline(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip") ->
     return result
 
 
-def ablation_scrubbing(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vortex") -> FigureResult:
+def ablation_scrubbing(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vortex"
+) -> FigureResult:
     """Scrubbing vs double-error accumulation at an intense fault rate."""
     rate = 5e-2
     result = FigureResult(
@@ -906,7 +1008,9 @@ def ablation_scrubbing(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vortex")
     return result
 
 
-def ablation_replacement(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip") -> FigureResult:
+def ablation_replacement(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip"
+) -> FigureResult:
     """ICR behaviour under LRU approximations (extension)."""
     result = FigureResult(
         "Ablation A6",
@@ -935,7 +1039,9 @@ ALL_FIGURES.update(
 )
 
 
-def ablation_write_buffer(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vortex") -> FigureResult:
+def ablation_write_buffer(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vortex"
+) -> FigureResult:
     """Write-buffer depth sensitivity for the write-through dL1 (Section 5.8).
 
     The paper's WT comparison uses an 8-entry coalescing buffer [24];
@@ -965,7 +1071,9 @@ def ablation_write_buffer(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "vorte
     return result
 
 
-def ablation_power2(n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip") -> FigureResult:
+def ablation_power2(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip"
+) -> FigureResult:
     """The power-2 fallback sequence (Section 3.1): more attempts, more
     ability, diminishing returns."""
     from repro.core.config import power2_distances

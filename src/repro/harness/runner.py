@@ -23,9 +23,10 @@ import signal
 import sys
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.core.config import ICRConfig
 from repro.harness.cache import ResultCache, UncacheableJobError, job_key
@@ -93,6 +94,7 @@ class RunnerStats:
     retries: int = 0
     failures: int = 0
     uncacheable: int = 0
+    cancelled: int = 0
     elapsed: float = 0.0
 
     @property
@@ -105,10 +107,12 @@ class RunnerStats:
 
     def summary(self) -> str:
         """The one-line metrics report emitted after a batch."""
+        cancelled = f"{self.cancelled} cancelled · " if self.cancelled else ""
         return (
             f"[runner] {self.jobs} jobs · "
             f"{self.cache_hits} cache hits ({self.hit_rate * 100:.1f}%) · "
             f"{self.simulated} simulated · {self.retries} retries · "
+            f"{cancelled}"
             f"{self.elapsed:.2f}s · {self.sims_per_sec:.2f} sims/s"
         )
 
@@ -406,6 +410,21 @@ class ParallelRunner:
             results[index] = result
             self._tick()
 
+    # -- incremental path (the work-stealing scheduler's substrate) -------
+
+    def session(self, *, workers: Optional[int] = None) -> "RunnerSession":
+        """An incremental submit/cancel/as-completed execution session.
+
+        Where :meth:`run` is a batch barrier (every job submitted up
+        front, results returned together), a session keeps one worker
+        pool alive and lets the caller feed it continuously: ``submit``
+        returns immediately, ``next_completed`` harvests results one at
+        a time in completion order, and ``cancel`` revokes work that has
+        not started.  The campaign scheduler
+        (:mod:`repro.harness.scheduler`) is built on this API.
+        """
+        return RunnerSession(self, workers=workers)
+
     # -- progress ---------------------------------------------------------
 
     def _tick(self) -> None:
@@ -421,3 +440,222 @@ class ParallelRunner:
     def _finish_progress(self) -> None:
         if self.progress:
             print(file=self.stream)
+
+
+class TrialHandle:
+    """One submitted job inside a :class:`RunnerSession`.
+
+    ``result`` is a :class:`SimulationResult` on success or a
+    :class:`RunnerError` when the job failed its pool attempt *and* the
+    in-parent retry (mirroring ``run(on_error="return")``); it is only
+    meaningful once ``done`` is true.  ``tag`` is an opaque caller
+    payload carried through untouched (the scheduler stores its
+    (cell, index, attempt) bookkeeping there).
+    """
+
+    __slots__ = (
+        "job", "key", "tag", "done", "result",
+        "cached", "cancelled", "_future",
+    )
+
+    def __init__(self, job: Job, key: Optional[str], tag: Any = None):
+        self.job = job
+        self.key = key
+        self.tag = tag
+        self.done = False
+        self.result: Union[SimulationResult, RunnerError, None] = None
+        self.cached = False
+        self.cancelled = False
+        self._future = None
+
+    @property
+    def ok(self) -> bool:
+        return self.done and not isinstance(self.result, RunnerError)
+
+
+class RunnerSession:
+    """Incremental executor over a persistent worker pool.
+
+    With ``workers > 1`` jobs go to one long-lived
+    :class:`ProcessPoolExecutor` (created lazily on the first
+    uncached submit); with ``workers <= 1`` submitted jobs queue
+    in-process and execute lazily inside :meth:`next_completed`, which
+    keeps single-worker sessions deterministic *and* cancellable.
+
+    The session shares the owning runner's memo, result cache, timeout,
+    retry budget and stats; a cache hit at submit time completes the
+    handle immediately (it is still delivered through
+    :meth:`next_completed`, in submit order, ahead of simulated work).
+    """
+
+    def __init__(self, runner: ParallelRunner, *, workers: Optional[int] = None):
+        self.runner = runner
+        self.workers = workers if workers and workers > 0 else runner.jobs
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: dict = {}  # Future -> TrialHandle
+        self._queue: deque[TrialHandle] = deque()  # in-process pending
+        self._ready: deque[TrialHandle] = deque()  # completed, unharvested
+        self._started = time.monotonic()
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "RunnerSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down, revoking anything still queued."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.runner.stats.elapsed += time.monotonic() - self._started
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, job: Job, tag: Any = None) -> TrialHandle:
+        """Queue *job* for execution; returns immediately.
+
+        A memo/disk-cache hit completes the handle on the spot (``done``
+        and ``cached`` both true) — it still flows through
+        :meth:`next_completed` so callers can use one harvest loop.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        key = job.key()
+        handle = TrialHandle(job, key, tag)
+        self.runner.stats.jobs += 1
+        cached = self.runner._lookup(key)
+        if cached is not None:
+            handle.result = cached
+            handle.done = True
+            handle.cached = True
+            self.runner.stats.completed += 1
+            self._ready.append(handle)
+            return handle
+        if key is None:
+            self.runner.stats.uncacheable += 1
+        if self.workers <= 1:
+            self._queue.append(handle)
+        else:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            future = self._pool.submit(_worker, (job, self.runner.timeout))
+            handle._future = future
+            self._futures[future] = handle
+        return handle
+
+    def cancel(self, handle: TrialHandle) -> bool:
+        """Revoke *handle* if its job has not started; True on success.
+
+        A running or finished job cannot be revoked — the caller is free
+        to ignore its result instead (results are side-effect-free
+        beyond the shared cache, which only makes future lookups
+        cheaper).
+        """
+        if handle.done or handle.cancelled:
+            return False
+        if handle._future is not None:
+            if not handle._future.cancel():
+                return False
+            del self._futures[handle._future]
+            handle._future = None
+        else:
+            try:
+                self._queue.remove(handle)
+            except ValueError:
+                return False
+        handle.cancelled = True
+        handle.done = True
+        self.runner.stats.cancelled += 1
+        return True
+
+    def outstanding(self) -> int:
+        """Submitted handles not yet harvested (queued, running or ready)."""
+        return len(self._queue) + len(self._futures) + len(self._ready)
+
+    def in_flight(self) -> int:
+        """Submitted handles not yet finished (queued or running)."""
+        return len(self._queue) + len(self._futures)
+
+    # -- harvesting -------------------------------------------------------
+
+    def next_completed(
+        self, timeout: Optional[float] = None
+    ) -> Optional[TrialHandle]:
+        """The next finished handle, or None on timeout / empty session.
+
+        Completion order: cache hits first (in submit order), then
+        simulated jobs as their workers finish.  Failed jobs get one
+        in-parent retry before surfacing a :class:`RunnerError` as the
+        handle's result — exactly the batch path's degradation
+        contract.
+        """
+        if self._ready:
+            return self._ready.popleft()
+        if self._queue:
+            handle = self._queue.popleft()
+            return self._finish(handle, *self._execute(handle.job, handle.key))
+        if not self._futures:
+            return None
+        done, _ = wait(
+            set(self._futures), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            return None
+        for future in done:
+            handle = self._futures.pop(future)
+            handle._future = None
+            try:
+                status, payload = future.result()
+            except Exception as exc:  # worker died, pool broken, ...
+                status, payload = "error", repr(exc)
+            if status == "ok":
+                self.runner.stats.simulated += 1
+                self.runner._store(handle.key, payload)
+                self._ready.append(self._finish(handle, payload, None))
+            else:
+                # In-parent retry, mirroring the batch pool path: one
+                # pool attempt has already failed, so this burns the
+                # retry budget directly in the calling process.
+                self.runner.stats.retries += 1
+                try:
+                    result = _run_with_timeout(handle.job, self.runner.timeout)
+                except Exception:
+                    self.runner.stats.failures += 1
+                    error = RunnerError(
+                        handle.job,
+                        f"pool attempt: {payload}\n"
+                        f"retry: {traceback.format_exc()}",
+                    )
+                    self._ready.append(self._finish(handle, None, error))
+                else:
+                    self.runner.stats.simulated += 1
+                    self.runner._store(handle.key, result)
+                    self._ready.append(self._finish(handle, result, None))
+        return self._ready.popleft()
+
+    # -- internals --------------------------------------------------------
+
+    def _execute(self, job: Job, key: Optional[str]):
+        """In-process execution with the runner's full retry budget."""
+        try:
+            return self.runner._execute_with_retry(job, key), None
+        except RunnerError as error:
+            return None, error
+
+    def _finish(
+        self,
+        handle: TrialHandle,
+        result: Optional[SimulationResult],
+        error: Optional[RunnerError],
+    ) -> TrialHandle:
+        handle.result = error if error is not None else result
+        handle.done = True
+        self.runner.stats.completed += 1
+        return handle

@@ -18,9 +18,9 @@ replaces that sprawl with a single frozen dataclass:
   per Monte Carlo trial, a new ``trace_seed`` per statistics run)
   without mutating anything.
 
-``run_experiment(spec)`` is the primary entry point; the old keyword
-form survives as a thin deprecated shim that builds a spec via
-:meth:`ExperimentSpec.from_kwargs`.
+``run_experiment(spec)`` is the sole entry point (the deprecated
+keyword shim has been removed); :meth:`ExperimentSpec.from_kwargs`
+builds a spec from the legacy keyword vocabulary.
 """
 
 from __future__ import annotations
@@ -137,6 +137,17 @@ class ExperimentSpec:
     def with_seed(self, error_seed: int) -> "ExperimentSpec":
         """The same experiment under a different fault-injection seed."""
         return self.replace(error_seed=error_seed)
+
+    def with_backend(self, backend: str) -> "ExperimentSpec":
+        """The same experiment on a different simulation kernel.
+
+        Used by backend-aware dispatch: the scheduler probes
+        :func:`repro.core.array_kernel.backend_mode` on the array twin
+        of a spec to decide which kernel a cell's trials should run on.
+        Note the backend participates in :meth:`key`, so the twin is a
+        distinct cache identity.
+        """
+        return self.replace(backend=backend)
 
     # -- views ------------------------------------------------------------
 

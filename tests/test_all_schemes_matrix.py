@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.schemes import ALL_SCHEMES
 from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
 
 N = 12_000
 EXTRA_SCHEMES = ("BaseECC-spec", "BaseP-WT")
@@ -17,7 +18,9 @@ EXTRA_SCHEMES = ("BaseECC-spec", "BaseP-WT")
 def matrix():
     results = {}
     for scheme in ALL_SCHEMES + EXTRA_SCHEMES:
-        results[scheme] = run_experiment("vpr", scheme, n_instructions=N)
+        results[scheme] = run_experiment(
+            ExperimentSpec.from_kwargs("vpr", scheme, n_instructions=N)
+        )
     return results
 
 

@@ -71,9 +71,12 @@ class TestBaselineRun:
         in the same league as a dedicated 2KB side cache, without the
         extra array."""
         from repro.harness.experiment import run_experiment
+        from repro.harness.spec import ExperimentSpec
 
         rcache = run_rcache_baseline("gzip", n_instructions=40_000)
-        icr = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=40_000)
+        icr = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "ICR-P-PS(S)", n_instructions=40_000)
+        )
         assert icr.loads_with_replica > 0.5 * rcache.loads_with_duplicate
 
     def test_every_store_duplicated(self):

@@ -62,8 +62,11 @@ class TestBaselineRun:
 
     def test_helps_or_matches_base(self):
         from repro.harness.experiment import run_experiment
+        from repro.harness.spec import ExperimentSpec
 
-        base = run_experiment("mcf", "BaseP", n_instructions=30_000)
+        base = run_experiment(
+            ExperimentSpec.from_kwargs("mcf", "BaseP", n_instructions=30_000)
+        )
         vc = run_victim_cache_baseline("mcf", n_instructions=30_000)
         assert vc.cycles <= base.cycles * 1.001
 
@@ -71,16 +74,19 @@ class TestBaselineRun:
         """Section 5.6: ICR's free in-cache victim effect is comparable
         to a dedicated 16-entry victim cache on the conflict-heavy mcf."""
         from repro.harness.experiment import run_experiment
+        from repro.harness.spec import ExperimentSpec
 
-        base = run_experiment("mcf", "BaseP", n_instructions=40_000)
+        base = run_experiment(
+            ExperimentSpec.from_kwargs("mcf", "BaseP", n_instructions=40_000)
+        )
         vc = run_victim_cache_baseline("mcf", n_instructions=40_000)
-        icr = run_experiment(
+        icr = run_experiment(ExperimentSpec.from_kwargs(
             "mcf",
             "ICR-P-PS(S)",
             n_instructions=40_000,
             decay_window=1000,
             leave_replicas_on_evict=True,
-        )
+        ))
         vc_gain = 1.0 - vc.cycles / base.cycles
         icr_gain = 1.0 - icr.cycles / base.cycles
         assert icr_gain > 0.3 * vc_gain

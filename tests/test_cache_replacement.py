@@ -151,9 +151,10 @@ class TestIntegration:
 
     def test_icr_runs_with_plru(self):
         from repro.harness.experiment import run_experiment
+        from repro.harness.spec import ExperimentSpec
 
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec.from_kwargs(
             "gzip", "ICR-P-PS(S)", n_instructions=10_000, replacement="plru"
-        )
+        ))
         assert result.cycles > 0
         assert result.replication_ability >= 0.0

@@ -67,7 +67,11 @@ class TestCheckParity:
         corrupted = word ^ (1 << (8 * byte + bit_a)) ^ (1 << (8 * byte + bit_b))
         assert check_parity(corrupted, byte_parity_bits(word))
 
-    @given(WORDS, st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    @given(
+        WORDS,
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
     def test_double_flip_different_bytes_detected(self, word, bit_a, bit_b):
         if bit_a // 8 == bit_b // 8:
             return

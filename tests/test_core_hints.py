@@ -116,17 +116,22 @@ class TestDirectives:
 class TestEndToEnd:
     def test_hints_change_reliability_coverage(self):
         """Protecting a hot region eagerly raises loads-with-replica."""
-        from repro.harness.experiment import run_experiment
-        from repro.workloads.generator import HOT_BASE
         from repro.core.config import variant as cfg_variant
+        from repro.harness.experiment import run_experiment
+        from repro.harness.spec import ExperimentSpec
+        from repro.workloads.generator import HOT_BASE
 
         plain_cfg = make_config("ICR-P-PS(S)", decay_window=1000)
         hinted_cfg = cfg_variant(
             plain_cfg,
             hints=ReplicationHints().eager(HOT_BASE, HOT_BASE + (1 << 26)),
         )
-        plain = run_experiment("gzip", plain_cfg, n_instructions=40_000)
-        hinted = run_experiment("gzip", hinted_cfg, n_instructions=40_000)
+        plain = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", plain_cfg, n_instructions=40_000)
+        )
+        hinted = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", hinted_cfg, n_instructions=40_000)
+        )
         # The eager hint fires extra fill-time attempts for the hot region;
         # coverage must not regress (placement success still depends on the
         # availability of dead lines).

@@ -163,7 +163,9 @@ class TestReplacementBehaviour:
         summary = cache.contents_summary()
         target = (0 + 32) % N_SETS
         assert not any(
-            b.valid and b.is_replica and b.block_addr == cache.geometry.block_addr(addr(0))
+            b.valid
+            and b.is_replica
+            and b.block_addr == cache.geometry.block_addr(addr(0))
             for b in cache.sets[target]
         )
 

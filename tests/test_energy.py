@@ -98,16 +98,26 @@ class TestSchemeEnergyOrdering:
 
     def test_writethrough_burns_more_than_writeback(self):
         from repro.harness.experiment import run_experiment
+        from repro.harness.spec import ExperimentSpec
 
-        wb = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=20_000)
-        wt = run_experiment("gzip", "BaseP-WT", n_instructions=20_000)
+        wb = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "ICR-P-PS(S)", n_instructions=20_000)
+        )
+        wt = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseP-WT", n_instructions=20_000)
+        )
         assert wt.energy.total_nj > wb.energy.total_nj
 
     def test_ecc_checks_cost_more_than_parity(self):
         from repro.harness.experiment import run_experiment
+        from repro.harness.spec import ExperimentSpec
 
-        parity = run_experiment("gzip", "BaseP", n_instructions=20_000)
-        ecc = run_experiment("gzip", "BaseECC", n_instructions=20_000)
+        parity = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=20_000)
+        )
+        ecc = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseECC", n_instructions=20_000)
+        )
         assert ecc.energy.l1_checks_nj > parity.energy.l1_checks_nj
 
 

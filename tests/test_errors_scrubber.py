@@ -8,6 +8,7 @@ from repro.errors.injector import FaultInjector
 from repro.errors.models import FaultSite
 from repro.errors.scrubber import Scrubber
 from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
 
 
 def make_cache(scheme="BaseECC", **kwargs):
@@ -103,8 +104,14 @@ class TestRepairPaths:
 class TestEndToEnd:
     def test_scrubbing_reduces_baseecc_losses_at_high_rates(self):
         kwargs = dict(n_instructions=40_000, error_rate=5e-2, error_seed=3)
-        plain = run_experiment("vortex", "BaseECC", **kwargs)
-        scrubbed = run_experiment("vortex", "BaseECC", scrub_period=2_000, **kwargs)
+        plain = run_experiment(
+            ExperimentSpec.from_kwargs("vortex", "BaseECC", **kwargs)
+        )
+        scrubbed = run_experiment(
+            ExperimentSpec.from_kwargs(
+                "vortex", "BaseECC", scrub_period=2_000, **kwargs
+            )
+        )
         assert (
             scrubbed.dl1["load_errors_unrecoverable"]
             <= plain.dl1["load_errors_unrecoverable"]

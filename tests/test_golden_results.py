@@ -19,6 +19,7 @@ import pathlib
 import pytest
 
 from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -48,7 +49,9 @@ def _snapshot(result):
 @pytest.mark.parametrize("name", sorted(CONFIGS))
 def test_golden(name, update_golden):
     benchmark, scheme, kwargs = CONFIGS[name]
-    result = run_experiment(benchmark, scheme, n_instructions=N, **kwargs)
+    result = run_experiment(
+        ExperimentSpec.from_kwargs(benchmark, scheme, n_instructions=N, **kwargs)
+    )
     got = _snapshot(result)
 
     path = GOLDEN_DIR / f"{name}.json"

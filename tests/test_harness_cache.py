@@ -14,6 +14,7 @@ from repro.harness.cache import (
 )
 from repro.harness.experiment import MachineConfig, run_experiment
 from repro.harness.runner import Job, ParallelRunner
+from repro.harness.spec import ExperimentSpec
 from repro.workloads.spec2000 import profile_for
 
 N = 4_000
@@ -21,23 +22,25 @@ N = 4_000
 
 class TestResultRoundTrip:
     def test_plain_result(self):
-        result = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=N)
+        result = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "ICR-P-PS(S)", n_instructions=N)
+        )
         restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
         assert restored == result
         assert restored.cpi == result.cpi  # derived properties survive too
 
     def test_error_injection_result(self):
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec.from_kwargs(
             "vortex", "BaseP", n_instructions=N, error_rate=0.01, error_seed=9
-        )
+        ))
         restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
         assert restored == result
         assert restored.dl1["errors_injected"] == result.dl1["errors_injected"]
 
     def test_vulnerability_report_survives(self):
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec.from_kwargs(
             "gzip", "BaseP", n_instructions=N, measure_vulnerability=True
-        )
+        ))
         restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
         assert restored.vulnerability == result.vulnerability
         assert (
@@ -46,14 +49,16 @@ class TestResultRoundTrip:
         )
 
     def test_icache_counters_survive(self):
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec.from_kwargs(
             "gzip", "BaseP", n_instructions=N, icache_error_rate=1e-3
-        )
+        ))
         restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
         assert restored.l1i == result.l1i
 
     def test_unknown_format_rejected(self):
-        result = run_experiment("gzip", "BaseP", n_instructions=N)
+        result = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=N)
+        )
         data = result_to_dict(result)
         data["format"] = 999
         with pytest.raises(ValueError):
@@ -128,7 +133,9 @@ class TestJobKey:
 class TestResultCache:
     def test_put_get_round_trip(self, tmp_path):
         cache = ResultCache(tmp_path)
-        result = run_experiment("gzip", "BaseP", n_instructions=N)
+        result = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=N)
+        )
         key = job_key("gzip", "BaseP", {"n_instructions": N})
         cache.put(key, result)
         assert cache.get(key) == result
@@ -160,7 +167,9 @@ class TestResultCache:
 
     def test_disabled_cache_is_a_no_op(self, tmp_path):
         cache = ResultCache(tmp_path, enabled=False)
-        result = run_experiment("gzip", "BaseP", n_instructions=N)
+        result = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=N)
+        )
         cache.put("ab" * 16, result)
         assert cache.get("ab" * 16) is None
         assert list(tmp_path.iterdir()) == []

@@ -19,6 +19,7 @@ from repro.harness.runner import (
     RunnerError,
     RunnerStats,
 )
+from repro.harness.spec import ExperimentSpec
 
 #: A small (benchmark, scheme, extra-kwargs) grid exercising base, S and
 #: LS replication plus a non-default seed.
@@ -40,7 +41,11 @@ def _jobs(extra=None):
 
 def _serial(extra=None):
     return [
-        run_experiment(bench, scheme, n_instructions=N, **kwargs, **(extra or {}))
+        run_experiment(
+            ExperimentSpec.from_kwargs(
+                bench, scheme, n_instructions=N, **kwargs, **(extra or {})
+            )
+        )
         for bench, scheme, kwargs in GRID
     ]
 
@@ -77,7 +82,9 @@ class TestSerialParallelEquivalence:
         ]
 
     def test_run_one_matches_run_experiment(self):
-        direct = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=N)
+        direct = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "ICR-P-PS(S)", n_instructions=N)
+        )
         via_runner = ParallelRunner(jobs=1).run_one(
             "gzip", "ICR-P-PS(S)", n_instructions=N
         )

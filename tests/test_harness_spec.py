@@ -100,22 +100,20 @@ class TestCacheKeyIdentity:
 
 
 class TestRunExperimentForms:
-    def test_keyword_form_deprecated_but_identical(self):
+    def test_from_kwargs_form_identical(self):
         spec = ExperimentSpec("gzip", "ICR-P-PS(S)", n_instructions=N)
         via_spec = run_experiment(spec)
-        with pytest.warns(DeprecationWarning):
-            via_kwargs = run_experiment("gzip", "ICR-P-PS(S)", n_instructions=N)
+        via_kwargs = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "ICR-P-PS(S)", n_instructions=N)
+        )
         assert via_spec == via_kwargs
 
-    def test_spec_form_rejects_extra_arguments(self):
-        spec = ExperimentSpec("gzip", "BaseP", n_instructions=N)
-        with pytest.raises(TypeError, match="replace"):
-            run_experiment(spec, "BaseP")
-        with pytest.raises(TypeError, match="replace"):
-            run_experiment(spec, n_instructions=N)
-
-    def test_missing_scheme_rejected(self):
+    def test_keyword_form_removed(self):
+        # The deprecated run_experiment(benchmark, scheme, **kwargs)
+        # shim is gone: a spec is the sole entry point.
         with pytest.raises(TypeError):
+            run_experiment("gzip", "BaseP", n_instructions=N)
+        with pytest.raises(TypeError, match="ExperimentSpec"):
             run_experiment("gzip")
 
 

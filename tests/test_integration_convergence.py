@@ -8,27 +8,40 @@ below the default length — doubling the trace moves them only marginally.
 import pytest
 
 from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
 
 
 class TestMetricConvergence:
     @pytest.mark.parametrize("bench", ["gzip", "mcf"])
     def test_loads_with_replica_stable(self, bench):
-        short = run_experiment(bench, "ICR-P-PS(S)", n_instructions=80_000)
-        long = run_experiment(bench, "ICR-P-PS(S)", n_instructions=160_000)
+        short = run_experiment(
+            ExperimentSpec.from_kwargs(bench, "ICR-P-PS(S)", n_instructions=80_000)
+        )
+        long = run_experiment(
+            ExperimentSpec.from_kwargs(bench, "ICR-P-PS(S)", n_instructions=160_000)
+        )
         assert short.loads_with_replica == pytest.approx(
             long.loads_with_replica, abs=0.08
         )
 
     @pytest.mark.parametrize("bench", ["gzip", "mcf"])
     def test_miss_rate_stable(self, bench):
-        short = run_experiment(bench, "BaseP", n_instructions=80_000)
-        long = run_experiment(bench, "BaseP", n_instructions=160_000)
+        short = run_experiment(
+            ExperimentSpec.from_kwargs(bench, "BaseP", n_instructions=80_000)
+        )
+        long = run_experiment(
+            ExperimentSpec.from_kwargs(bench, "BaseP", n_instructions=160_000)
+        )
         assert short.miss_rate == pytest.approx(long.miss_rate, abs=0.03)
 
     def test_normalized_cycles_stable(self):
         def ratio(n):
-            base = run_experiment("gzip", "BaseP", n_instructions=n)
-            ecc = run_experiment("gzip", "BaseECC", n_instructions=n)
+            base = run_experiment(
+                ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=n)
+            )
+            ecc = run_experiment(
+                ExperimentSpec.from_kwargs("gzip", "BaseECC", n_instructions=n)
+            )
             return ecc.cycles / base.cycles
 
         assert ratio(80_000) == pytest.approx(ratio(160_000), abs=0.05)
@@ -36,6 +49,10 @@ class TestMetricConvergence:
     def test_cpi_stable(self):
         # CPI converges more slowly than the cache metrics (the branch
         # predictor keeps training), hence the wider tolerance.
-        short = run_experiment("vpr", "BaseP", n_instructions=80_000)
-        long = run_experiment("vpr", "BaseP", n_instructions=160_000)
+        short = run_experiment(
+            ExperimentSpec.from_kwargs("vpr", "BaseP", n_instructions=80_000)
+        )
+        long = run_experiment(
+            ExperimentSpec.from_kwargs("vpr", "BaseP", n_instructions=160_000)
+        )
         assert short.cpi == pytest.approx(long.cpi, rel=0.15)

@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.config import VictimPolicy
 from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
 
 N = 60_000
 RELAXED = dict(decay_window=1000, victim_policy=VictimPolicy.DEAD_FIRST)
@@ -26,7 +27,9 @@ def gzip_runs():
         "ICR-ECC-PS(S)": {},
     }
     return {
-        name: run_experiment("gzip", name, n_instructions=N, **kwargs)
+        name: run_experiment(
+            ExperimentSpec.from_kwargs("gzip", name, n_instructions=N, **kwargs)
+        )
         for name, kwargs in schemes.items()
     }
 
@@ -70,19 +73,29 @@ class TestSection52Claims:
 class TestSection53Claims:
     def test_larger_window_lowers_ability(self):
         """Figure 10: fewer dead blocks -> fewer replica homes."""
-        w0 = run_experiment("vpr", "ICR-P-PS(S)", n_instructions=N, decay_window=0)
-        w10k = run_experiment(
-            "vpr", "ICR-P-PS(S)", n_instructions=N, decay_window=10_000
+        w0 = run_experiment(
+            ExperimentSpec.from_kwargs(
+                "vpr", "ICR-P-PS(S)", n_instructions=N, decay_window=0
+            )
         )
+        w10k = run_experiment(ExperimentSpec.from_kwargs(
+            "vpr", "ICR-P-PS(S)", n_instructions=N, decay_window=10_000
+        ))
         assert w10k.replication_ability <= w0.replication_ability
 
     def test_relaxed_window_costs_less_performance(self):
         """Figure 11: a lenient predictor displaces fewer live blocks."""
-        base = run_experiment("vpr", "BaseP", n_instructions=N)
-        w0 = run_experiment("vpr", "ICR-P-PS(S)", n_instructions=N, decay_window=0)
-        w1k = run_experiment(
-            "vpr", "ICR-P-PS(S)", n_instructions=N, **RELAXED
+        base = run_experiment(
+            ExperimentSpec.from_kwargs("vpr", "BaseP", n_instructions=N)
         )
+        w0 = run_experiment(
+            ExperimentSpec.from_kwargs(
+                "vpr", "ICR-P-PS(S)", n_instructions=N, decay_window=0
+            )
+        )
+        w1k = run_experiment(ExperimentSpec.from_kwargs(
+            "vpr", "ICR-P-PS(S)", n_instructions=N, **RELAXED
+        ))
         assert w1k.miss_rate <= w0.miss_rate + 0.005
         assert w1k.cycles <= w0.cycles * 1.02
         assert w1k.cycles / base.cycles < 1.06
@@ -92,8 +105,10 @@ class TestSection55Claims:
     def test_icr_more_resilient_than_basep(self):
         """Figure 14 at an intense error rate."""
         kwargs = dict(n_instructions=40_000, error_rate=1e-2, error_seed=99)
-        base = run_experiment("vortex", "BaseP", **kwargs)
-        icr = run_experiment("vortex", "ICR-P-PS(S)", **kwargs, **RELAXED)
+        base = run_experiment(ExperimentSpec.from_kwargs("vortex", "BaseP", **kwargs))
+        icr = run_experiment(
+            ExperimentSpec.from_kwargs("vortex", "ICR-P-PS(S)", **kwargs, **RELAXED)
+        )
         assert base.dl1["load_errors_unrecoverable"] > 0
         assert (
             icr.unrecoverable_load_fraction < base.unrecoverable_load_fraction
@@ -102,9 +117,9 @@ class TestSection55Claims:
 
     def test_baseecc_corrects_singles(self):
         """At moderate rates every single-bit error is corrected."""
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec.from_kwargs(
             "vortex", "BaseECC", n_instructions=40_000, error_rate=1e-3
-        )
+        ))
         assert result.dl1["load_errors_corrected_ecc"] >= 0
         assert result.dl1["load_errors_detected"] == (
             result.dl1["load_errors_corrected_ecc"]
@@ -115,46 +130,66 @@ class TestSection55Claims:
 
 class TestSection56Claims:
     def test_leaving_replicas_serves_misses(self):
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec.from_kwargs(
             "mcf",
             "ICR-P-PS(S)",
             n_instructions=N,
             leave_replicas_on_evict=True,
             **RELAXED,
-        )
+        ))
         assert result.dl1["replica_fills"] > 0
 
     def test_mcf_performance_mode_beats_drop_mode(self):
-        drop = run_experiment("mcf", "ICR-P-PS(S)", n_instructions=N, **RELAXED)
-        leave = run_experiment(
+        drop = run_experiment(
+            ExperimentSpec.from_kwargs(
+                "mcf", "ICR-P-PS(S)", n_instructions=N, **RELAXED
+            )
+        )
+        leave = run_experiment(ExperimentSpec.from_kwargs(
             "mcf",
             "ICR-P-PS(S)",
             n_instructions=N,
             leave_replicas_on_evict=True,
             **RELAXED,
-        )
+        ))
         assert leave.cycles < drop.cycles
 
 
 class TestSection58Claims:
     def test_writethrough_slower_and_hotter(self):
-        icr = run_experiment("vortex", "ICR-P-PS(S)", n_instructions=N, **RELAXED)
-        wt = run_experiment("vortex", "BaseP-WT", n_instructions=N)
+        icr = run_experiment(
+            ExperimentSpec.from_kwargs(
+                "vortex", "ICR-P-PS(S)", n_instructions=N, **RELAXED
+            )
+        )
+        wt = run_experiment(
+            ExperimentSpec.from_kwargs("vortex", "BaseP-WT", n_instructions=N)
+        )
         assert wt.energy.total_nj > icr.energy.total_nj
         assert wt.write_buffer_stalls >= 0
 
 
 class TestSection59Claims:
     def test_speculative_loads_recover_baseecc_cycles(self):
-        ecc = run_experiment("gzip", "BaseECC", n_instructions=N)
-        spec = run_experiment("gzip", "BaseECC-spec", n_instructions=N)
-        base = run_experiment("gzip", "BaseP", n_instructions=N)
+        ecc = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseECC", n_instructions=N)
+        )
+        spec = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseECC-spec", n_instructions=N)
+        )
+        base = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseP", n_instructions=N)
+        )
         assert spec.cycles < ecc.cycles
         assert spec.cycles == base.cycles  # same latencies, same trace
 
     def test_speculation_does_not_reduce_check_energy(self):
-        ecc = run_experiment("gzip", "BaseECC", n_instructions=N)
-        spec = run_experiment("gzip", "BaseECC-spec", n_instructions=N)
+        ecc = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseECC", n_instructions=N)
+        )
+        spec = run_experiment(
+            ExperimentSpec.from_kwargs("gzip", "BaseECC-spec", n_instructions=N)
+        )
         assert spec.energy.l1_checks_nj == pytest.approx(
             ecc.energy.l1_checks_nj, rel=0.01
         )

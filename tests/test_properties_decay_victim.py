@@ -38,7 +38,9 @@ class TestDecayProperties:
         # Saturation needs 4 ticks; for windows < 4 cycles the 1-cycle
         # tick granularity dominates, hence the max() in the bound.
         bound = last + SATURATION_TICKS * predictor.tick_period + predictor.tick_period
-        assert predictor.is_dead(block, max(bound, last + window + predictor.tick_period))
+        assert predictor.is_dead(
+            block, max(bound, last + window + predictor.tick_period)
+        )
 
     @given(
         window=st.integers(min_value=8, max_value=100_000),

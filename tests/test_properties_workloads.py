@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.core.schemes import make_cache
-from repro.cpu.isa import MEMORY_OPS, OP_BRANCH, N_REGS
+from repro.cpu.isa import MEMORY_OPS, N_REGS, OP_BRANCH
 from repro.cpu.pipeline import OutOfOrderPipeline, PipelineConfig
 from repro.workloads.generator import WorkloadGenerator, WorkloadProfile
 

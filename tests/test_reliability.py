@@ -7,6 +7,7 @@ from repro.coding.protection import ProtectionKind
 from repro.core.icr_cache import ICRCache
 from repro.core.schemes import make_config
 from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
 from repro.reliability import (
     ExposureClass,
     VulnerabilityMonitor,
@@ -86,10 +87,10 @@ class TestSchemeOrdering:
             ("ICR-P-PS(S)", dict(decay_window=1000)),
             ("BaseECC", {}),
         ):
-            r = run_experiment(
+            r = run_experiment(ExperimentSpec.from_kwargs(
                 "vortex", scheme, n_instructions=30_000,
                 measure_vulnerability=True, **kw,
-            )
+            ))
             out[scheme] = r.vulnerability
         return out
 
@@ -162,13 +163,13 @@ class TestConsumptionFactor:
     def test_analytic_view_consistent_with_injection(self):
         """Cross-validation: injected unrecoverables stay within the
         analytic upper bound (consumption factor <= 1)."""
-        r = run_experiment(
+        r = run_experiment(ExperimentSpec.from_kwargs(
             "vortex",
             "BaseP",
             n_instructions=30_000,
             error_rate=1e-2,
             measure_vulnerability=True,
-        )
+        ))
         factor = fit_consumption_factor(
             errors_injected=r.dl1["errors_injected"],
             unrecoverable=r.dl1["load_errors_unrecoverable"],

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
 from repro.workloads.spec2000 import BENCHMARKS, PROFILES, profile_for
 
 
@@ -35,23 +36,33 @@ class TestCharacter:
 
     def test_mcf_has_worst_locality(self):
         results = {
-            b: run_experiment(b, "BaseP", n_instructions=30_000).miss_rate
+            b: run_experiment(
+                ExperimentSpec.from_kwargs(b, "BaseP", n_instructions=30_000)
+            ).miss_rate
             for b in ("mcf", "gzip", "mesa")
         }
         assert results["mcf"] > 3 * results["gzip"]
         assert results["mcf"] > 3 * results["mesa"]
 
     def test_mesa_has_best_locality(self):
-        mesa = run_experiment("mesa", "BaseP", n_instructions=30_000)
+        mesa = run_experiment(
+            ExperimentSpec.from_kwargs("mesa", "BaseP", n_instructions=30_000)
+        )
         assert mesa.miss_rate < 0.03
 
     def test_vpr_mispredicts_more_than_mesa(self):
-        vpr = run_experiment("vpr", "BaseP", n_instructions=30_000)
-        mesa = run_experiment("mesa", "BaseP", n_instructions=30_000)
+        vpr = run_experiment(
+            ExperimentSpec.from_kwargs("vpr", "BaseP", n_instructions=30_000)
+        )
+        mesa = run_experiment(
+            ExperimentSpec.from_kwargs("mesa", "BaseP", n_instructions=30_000)
+        )
         assert vpr.pipeline.mispredict_rate > mesa.pipeline.mispredict_rate
 
     def test_all_benchmarks_runnable(self):
         for bench in BENCHMARKS:
-            result = run_experiment(bench, "BaseP", n_instructions=5_000)
+            result = run_experiment(
+                ExperimentSpec.from_kwargs(bench, "BaseP", n_instructions=5_000)
+            )
             assert result.cycles > 0
             assert result.benchmark == bench

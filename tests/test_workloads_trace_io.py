@@ -42,7 +42,8 @@ class TestRoundTrip:
         loaded = load_trace(path)
 
         def cycles(t):
-            return OutOfOrderPipeline(MemoryHierarchy(make_cache("BaseP"))).run(t).cycles
+            hierarchy = MemoryHierarchy(make_cache("BaseP"))
+            return OutOfOrderPipeline(hierarchy).run(t).cycles
 
         assert cycles(loaded) == cycles(trace)
 
