@@ -1,0 +1,102 @@
+"""CI smoke test for the simulation job server.
+
+Boots a real server on an ephemeral port, fires two identical specs
+from concurrent clients, and checks the service contract end to end:
+
+* exactly **one** simulation ran (the second submission deduped or hit
+  the result store);
+* both clients received results **byte-identical** to a direct
+  in-process ``run_experiment(spec)``;
+* a warm resubmission is answered from the read-through cache without
+  the runner's ``simulated`` counter moving.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.  Run as::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+
+
+def main() -> int:
+    from repro.api import ExperimentSpec, run_experiment
+    from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+    spec = ExperimentSpec("gzip", "ICR-P-PS(S)", n_instructions=20_000)
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        config = ServiceConfig(port=0, workers=1, queue_dir=tmp)
+        with ServiceThread(config) as st:
+            results: list = [None, None]
+            errors: list = []
+
+            def submit(i: int) -> None:
+                try:
+                    client = ServiceClient(port=st.port)
+                    results[i] = client.run(spec, timeout=300)
+                except Exception as exc:
+                    errors.append(f"client {i}: {exc!r}")
+
+            threads = [
+                threading.Thread(target=submit, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+
+            client = ServiceClient(port=st.port)
+            telemetry = client.telemetry()
+            resubmitted = client.submit(spec)
+            after = client.telemetry()
+
+        if errors:
+            failures.extend(errors)
+        direct = run_experiment(spec)
+        for i, result in enumerate(results):
+            if result is None:
+                failures.append(f"client {i} got no result")
+            elif result.to_dict() != direct.to_dict():
+                failures.append(
+                    f"client {i} result differs from direct run_experiment"
+                )
+        simulated = telemetry["runner"]["simulated"]
+        if simulated != 1:
+            failures.append(
+                f"expected exactly 1 simulation for 2 identical concurrent "
+                f"submissions, runner reports {simulated}"
+            )
+        if resubmitted["submission"] != "cached":
+            failures.append(
+                "warm resubmission was "
+                f"{resubmitted['submission']!r}, expected 'cached'"
+            )
+        if after["runner"]["simulated"] != simulated:
+            failures.append("warm resubmission touched the runner")
+
+        summary = {
+            "simulated": simulated,
+            "submissions": after["submissions"],
+            "dedup_hits": after["dedup_hits"],
+            "cache_served": after["cache_served"],
+            "store_hit_rate": after["store"]["hit_rate"],
+            "byte_identical": not failures,
+        }
+        print(json.dumps(summary, indent=2))
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every figure.
 """
 
+from repro import api
 from repro.core import (
     ALL_SCHEMES,
     HEADLINE_SCHEMES,
@@ -45,6 +46,7 @@ from repro.workloads import BENCHMARKS, PROFILES, WorkloadProfile
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "ALL_SCHEMES",
     "HEADLINE_SCHEMES",
     "ICRCache",

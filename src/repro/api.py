@@ -1,0 +1,94 @@
+"""The one blessed public surface of the ``repro`` package.
+
+Everything an external consumer — a script, a plugin package, the
+bundled simulation service (:mod:`repro.service`), or a remote client —
+should import lives here, and ``__all__`` *is* the compatibility
+contract: names in it are frozen (pinned by
+``tests/test_public_api_surface.py``); everything else in the package
+is internal and may move without notice.  The service deliberately
+imports the simulator only through this module, so the facade staying
+frozen is what keeps the wire protocol stable.
+
+The surface, by role:
+
+* **Specs** — :class:`ExperimentSpec` (the frozen value that *is* one
+  simulation; its canonical :meth:`~ExperimentSpec.key` doubles as the
+  cache key and the service's idempotency token), :class:`MachineConfig`
+  and the spec's JSON wire form (``spec.to_dict()`` /
+  ``ExperimentSpec.from_dict``).
+* **Results** — :class:`SimulationResult` plus its lossless plain-data
+  round-trip :func:`result_to_dict` / :func:`result_from_dict`.
+* **Execution** — :func:`run_experiment` (one spec, one result),
+  :class:`ParallelRunner` (batch/incremental execution with caching,
+  timeouts, retries), :class:`ResultCache` (the content-addressed disk
+  store) and :class:`ReadThroughCache` (the sharded in-memory LRU tier
+  the service serves hot results from).
+* **Campaigns** — :class:`CampaignConfig`, :func:`run_campaign`,
+  :func:`create_engine`, :class:`CampaignReport`.
+* **Scheme catalog & plugins** — :func:`list_schemes` /
+  :func:`get_scheme` over the registry, :class:`SchemeInfo` /
+  :class:`SchemeEntry`, :func:`register_scheme` for external scheme
+  packages, the :class:`DataL1` / :class:`InjectionTarget` plugin
+  protocols with :class:`DL1Outcome`, and :class:`UnknownSchemeError` —
+  the uniform unknown-scheme failure (CLI exit 2, HTTP 400).
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import DataL1, DL1Outcome, InjectionTarget
+from repro.core.registry import (
+    SchemeEntry,
+    SchemeInfo,
+    UnknownSchemeError,
+    get_scheme,
+    list_schemes,
+)
+from repro.core.registry import (
+    register as register_scheme,
+)
+from repro.harness.cache import (
+    ReadThroughCache,
+    ResultCache,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.harness.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    create_engine,
+    run_campaign,
+)
+from repro.harness.experiment import SimulationResult, run_experiment
+from repro.harness.runner import ParallelRunner
+from repro.harness.spec import DEFAULT_INSTRUCTIONS, ExperimentSpec, MachineConfig
+
+__all__ = [
+    # specs
+    "DEFAULT_INSTRUCTIONS",
+    "ExperimentSpec",
+    "MachineConfig",
+    # results
+    "SimulationResult",
+    "result_from_dict",
+    "result_to_dict",
+    # execution
+    "ParallelRunner",
+    "ReadThroughCache",
+    "ResultCache",
+    "run_experiment",
+    # campaigns
+    "CampaignConfig",
+    "CampaignReport",
+    "create_engine",
+    "run_campaign",
+    # scheme catalog & plugins
+    "DL1Outcome",
+    "DataL1",
+    "InjectionTarget",
+    "SchemeEntry",
+    "SchemeInfo",
+    "UnknownSchemeError",
+    "get_scheme",
+    "list_schemes",
+    "register_scheme",
+]

@@ -18,33 +18,15 @@ Latency model (paper Table 1 and Section 3.2):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
 
 from repro.cache.set_assoc import CacheGeometry, Eviction, SetAssociativeCache
 from repro.cache.stats import HierarchyStats
 from repro.cache.write_buffer import CoalescingWriteBuffer
 
-
-@dataclass(frozen=True)
-class DL1Outcome:
-    """What the data L1 did with one demand access."""
-
-    hit: bool
-    # Load-hit (or replica-fill) latency; ``None`` means the request must
-    # be satisfied by the next level.
-    latency: Optional[int]
-    replica_fill: bool = False
-
-
-class DataL1(Protocol):
-    """Interface the hierarchy requires of a data L1 implementation."""
-
-    stats: object
-    write_policy: str  # "writeback" | "writethrough"
-
-    def access(self, addr: int, is_write: bool, now: int) -> DL1Outcome: ...
-
-    def set_evict_hook(self, hook) -> None: ...
+# The dL1 plugin protocol lives in repro.core.protocol (the documented
+# surface external scheme packages implement); DL1Outcome and DataL1
+# are re-exported here for the hierarchy's historical importers.
+from repro.core.protocol import DataL1, DL1Outcome
 
 
 @dataclass(frozen=True)

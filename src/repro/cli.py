@@ -260,6 +260,72 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(campaign, allow_auto=True)
     _add_runner_flags(campaign)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation job server (HTTP+JSON, see repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--queue-dir",
+        default=".repro-service",
+        metavar="DIR",
+        help="persistent job queue directory (jobs survive restarts)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=("round", "stealing"),
+        default="stealing",
+        help="campaign execution discipline (default: stealing)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget",
+    )
+    _add_runner_flags(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one experiment to a running server"
+    )
+    submit.add_argument("benchmark", choices=BENCHMARKS)
+    submit.add_argument("scheme")
+    submit.add_argument("--instructions", type=int, default=100_000)
+    submit.add_argument("--error-rate", type=float, default=0.0)
+    submit.add_argument(
+        "--error-model", choices=sorted(MODELS), default="random"
+    )
+    submit.add_argument("--vulnerability", action="store_true")
+    _add_backend_flag(submit)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8642)
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return instead of waiting for the result",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long to wait for the result (with waiting enabled)",
+    )
+
+    status = sub.add_parser(
+        "status", help="inspect a running server (jobs, telemetry)"
+    )
+    status.add_argument(
+        "job_id",
+        nargs="?",
+        default=None,
+        help="job id to inspect (omit for the job table + telemetry)",
+    )
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=8642)
+
     return parser
 
 
@@ -463,6 +529,117 @@ def _telemetry_line(t: dict) -> str:
     return line
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        queue_dir=args.queue_dir,
+        campaign_scheduler=args.scheduler,
+        timeout=args.timeout,
+    )
+    print(
+        f"[serve] listening on http://{config.host}:{config.port} "
+        f"(queue: {config.queue_dir})",
+        file=sys.stderr,
+    )
+    serve(config)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        spec = ExperimentSpec(
+            benchmark=args.benchmark,
+            scheme=args.scheme,
+            n_instructions=args.instructions,
+            error_rate=args.error_rate,
+            error_model=args.error_model,
+            measure_vulnerability=args.vulnerability,
+            backend=args.backend,
+        )
+    except ValueError as exc:  # unknown scheme name, from the registry
+        print(str(exc), file=sys.stderr)
+        return 2
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        submitted = client.submit(spec)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2 if exc.status == 400 else 1
+    except OSError as exc:
+        print(
+            f"cannot reach server at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    job = submitted["job"]
+    print(
+        f"[submit] job {job['id']} {job['state']} "
+        f"({submitted['submission']})",
+        file=sys.stderr,
+    )
+    if args.no_wait:
+        print(job["id"])
+        return 0
+    payload = client.wait(job["id"], timeout=args.timeout)
+    job = payload["job"]
+    if job["state"] != "done":
+        print(f"job failed: {job.get('error')}", file=sys.stderr)
+        return 1
+    from repro.harness.cache import result_from_dict
+
+    result = result_from_dict(payload["result"])
+    print(f"{result.scheme} on {result.benchmark} ({result.instructions:,} instr)")
+    print(f"  cycles            : {result.cycles:,} (CPI {result.cpi:.3f})")
+    print(f"  dL1 miss rate     : {percent(result.miss_rate)}")
+    print(f"  loads w/ replica  : {percent(result.loads_with_replica)}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.job_id is not None:
+            payload = client.job(args.job_id)
+            job = payload["job"]
+            print(
+                f"{job['id']}  {job['kind']}  {job['state']}"
+                + (f"  error: {job['error']}" if job["error"] else "")
+            )
+            return 0
+        telemetry = client.telemetry()
+        jobs = client.jobs()
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"cannot reach server at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    for job in jobs:
+        print(f"{job['id']}  {job['kind']}  {job['state']}")
+    store = telemetry["store"]
+    print(
+        f"[status] {telemetry['submissions']} submissions · "
+        f"{telemetry['dedup_hits']} deduped · "
+        f"{telemetry['cache_served']} cache-served · "
+        f"queue depth {telemetry['queue_depth']} · "
+        f"store hit-rate {store['hit_rate'] * 100:.0f}%",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     result = run_figure(args.figure_id, runner=runner, n=args.instructions)
@@ -484,6 +661,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_figure(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
     except BrokenPipeError:  # e.g. `repro-icr list | head`
         return 0
     raise AssertionError("unreachable")

@@ -17,10 +17,15 @@ from repro.core.policies import (
     ReplicationPolicy,
     VictimSelector,
 )
+from repro.core.protocol import DataL1, DL1Outcome, InjectionTarget
 from repro.core.registry import (
     SchemeEntry,
     SchemeInfo,
+    UnknownSchemeError,
     build_dl1,
+    get_scheme,
+    list_schemes,
+    register,
     registered_schemes,
     scheme_entry,
     scheme_info,
@@ -57,9 +62,16 @@ __all__ = [
     "ProtectionPolicy",
     "ReplicationPolicy",
     "VictimSelector",
+    "DataL1",
+    "DL1Outcome",
+    "InjectionTarget",
     "SchemeEntry",
     "SchemeInfo",
+    "UnknownSchemeError",
     "build_dl1",
+    "get_scheme",
+    "list_schemes",
+    "register",
     "registered_schemes",
     "scheme_entry",
     "scheme_info",

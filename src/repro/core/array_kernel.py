@@ -61,12 +61,12 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.cache.hierarchy import DL1Outcome
 from repro.cache.set_assoc import CacheGeometry, Eviction
 from repro.cache.stats import CacheStats
 from repro.coding.protection import ProtectionKind
 from repro.core import _native
 from repro.core.config import ICRConfig, LookupMode, VictimPolicy
+from repro.core.protocol import DL1Outcome
 
 # ---------------------------------------------------------------------------
 # outcome codes (table-driven classification)

@@ -31,7 +31,6 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.cache.block import CacheBlock
-from repro.cache.hierarchy import DL1Outcome
 from repro.cache.set_assoc import Eviction, SetAssociativeCache
 from repro.coding.protection import ProtectionKind
 from repro.core.config import ICRConfig, ReplicationTrigger
@@ -42,6 +41,7 @@ from repro.core.policies import (
     ReplicationPolicy,
     VictimSelector,
 )
+from repro.core.protocol import DL1Outcome
 
 
 class ICRCache(SetAssociativeCache):

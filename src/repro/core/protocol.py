@@ -1,0 +1,122 @@
+"""The documented plugin protocol: what a dL1 scheme model must provide.
+
+The scheme registry (:mod:`repro.core.registry`) turns names into
+*models* — objects the memory hierarchy drives one demand access at a
+time.  This module is the single, frozen definition of that contract,
+so external scheme packages can implement it and register themselves
+without importing anything from ``repro.core``'s internals:
+
+* :class:`DataL1` is the structural interface every model must satisfy
+  (the hierarchy, the experiment runner and the energy model consume
+  exactly this surface and nothing more);
+* :class:`DL1Outcome` is the value a model returns per access;
+* :class:`InjectionTarget` is the *observer* surface — fault injection,
+  scrubbing and vulnerability monitoring attach to the object a model
+  exposes as ``injection_target`` (the model itself when it owns the
+  data array, the inner core cache for wrapper models such as the
+  rcache / victim-cache baselines).
+
+Registering an external scheme is three steps (DESIGN.md §10 has the
+worked recipe):
+
+1. implement a model satisfying :class:`DataL1` (and, if it should
+   support error injection, expose an :class:`InjectionTarget`);
+2. wrap it in a factory ``build(**kwargs) -> model``;
+3. call :func:`repro.core.registry.register` with a ``SchemeEntry``
+   carrying the factory plus a ``SchemeInfo`` metadata record.
+
+After that the scheme is usable everywhere a built-in one is: from
+:class:`~repro.harness.spec.ExperimentSpec`, sweeps, figures, Monte
+Carlo campaigns, the CLI and the simulation service — all of which
+resolve names through the registry and drive models only through this
+protocol.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+it can be imported from anywhere (including ``repro.cache.hierarchy``)
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class DL1Outcome:
+    """What the data L1 did with one demand access."""
+
+    hit: bool
+    # Load-hit (or replica-fill) latency; ``None`` means the request must
+    # be satisfied by the next level.
+    latency: Optional[int]
+    replica_fill: bool = False
+
+
+@runtime_checkable
+class DataL1(Protocol):
+    """Structural interface of a simulatable dL1 scheme model.
+
+    Attributes
+    ----------
+    config:
+        The model's configuration object.  The experiment runner reads
+        ``config.name`` (the reported scheme name), ``config.geometry``
+        (a :class:`~repro.cache.set_assoc.CacheGeometry`, priced by the
+        energy model) and ``config.track_data`` (whether bit-accurate
+        storage backs error injection).
+    stats:
+        A :class:`~repro.cache.stats.CacheStats`-compatible counter
+        object; its ``snapshot()`` becomes ``SimulationResult.dl1``.
+    geometry:
+        The dL1 geometry (usually ``config.geometry``); the hierarchy
+        derives block-offset shifts from it.
+    write_policy:
+        ``"writeback"`` or ``"writethrough"`` — routes store traffic
+        through the write buffer in write-through mode.
+    """
+
+    config: object
+    stats: object
+    geometry: object
+    write_policy: str
+
+    def access(self, addr: int, is_write: bool, now: int) -> DL1Outcome:
+        """Serve one demand access at cycle *now*; never raises."""
+        ...
+
+    def set_evict_hook(self, hook: Callable[..., None]) -> None:
+        """Install the hierarchy's eviction callback (dirty writebacks)."""
+        ...
+
+
+@runtime_checkable
+class InjectionTarget(Protocol):
+    """The observer surface of a model's real data array.
+
+    A model that wraps an inner cache (the rcache / victim-cache
+    baselines) exposes the inner array as ``injection_target``; models
+    that *are* the array (``ICRCache``) are their own target — callers
+    use ``getattr(model, "injection_target", model)``.  Observers
+    attach by plain attribute assignment:
+
+    * ``target.injector`` — a fault injector with ``advance(now)``
+      (:class:`repro.errors.injector.FaultInjector` assigns itself);
+    * ``target.monitor`` — an observer with ``observe(now)``, called at
+      the start of every demand access
+      (:class:`repro.reliability.vulnerability.VulnerabilityMonitor`);
+    * ``target.scrubber`` — a background scrubber with ``advance(now)``
+      (:class:`repro.errors.scrubber.Scrubber`).
+
+    All three slots are ``None`` until attached; the model must consult
+    them on its demand path when they are set.
+    """
+
+    injector: object
+    monitor: object
+    scrubber: object
+
+    def access(self, addr: int, is_write: bool, now: int) -> DL1Outcome: ...
+
+
+__all__ = ["DL1Outcome", "DataL1", "InjectionTarget"]

@@ -35,6 +35,17 @@ from typing import Callable, Optional
 from repro.coding.protection import ProtectionKind
 
 
+class UnknownSchemeError(ValueError):
+    """A scheme name that resolves to nothing in the catalog.
+
+    Raised (with the full catalog in the message) by every resolution
+    path — spec construction, cache keying, model building, the CLI and
+    the HTTP service — so an unknown scheme fails identically
+    everywhere: the CLI exits 2, the service answers 400, and both show
+    the same registered-scheme listing.
+    """
+
+
 @dataclass(frozen=True)
 class SchemeInfo:
     """Static metadata of one registered scheme.
@@ -107,13 +118,14 @@ def is_registered(name: str) -> bool:
 def normalize_scheme_name(name: str) -> str:
     """Canonicalize spellings like ``icr-p-ps (s)`` to ``ICR-P-PS(S)``.
 
-    Raises :class:`ValueError` listing the registered schemes when the
-    name (after spelling normalization) is not in the registry.
-    Idempotent: canonical names map to themselves.
+    Raises :class:`UnknownSchemeError` (a :class:`ValueError`) listing
+    the registered schemes when the name (after spelling normalization)
+    is not in the registry.  Idempotent: canonical names map to
+    themselves.
     """
     canonical = _LOOKUP.get(_squash(name))
     if canonical is None:
-        raise ValueError(
+        raise UnknownSchemeError(
             f"unknown scheme name {name!r}; registered schemes: "
             + ", ".join(registered_schemes())
         )
@@ -128,6 +140,21 @@ def scheme_entry(name: str) -> SchemeEntry:
 def scheme_info(name: str) -> SchemeInfo:
     """The metadata for *name* (any accepted spelling)."""
     return scheme_entry(name).info
+
+
+# Public-API spellings (re-exported by repro.api): the service, external
+# clients and plugin packages use these; the shorter historical names
+# above stay for in-tree callers.
+
+
+def list_schemes() -> tuple[str, ...]:
+    """Canonical names of every registered scheme (catalog order)."""
+    return registered_schemes()
+
+
+def get_scheme(name: str) -> SchemeInfo:
+    """Metadata for *name*; raises :class:`UnknownSchemeError` if absent."""
+    return scheme_info(name)
 
 
 def build_dl1(name: str, **kwargs):

@@ -30,7 +30,9 @@ import enum
 import hashlib
 import json
 import os
+import threading
 import time
+from collections import OrderedDict
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Optional, Union
@@ -326,3 +328,139 @@ class ResultCache:
         except OSError:
             return  # a read-only or full cache dir never fails the run
         self.stores += 1
+
+
+class _CacheShard:
+    """One lock-guarded LRU segment of a :class:`ReadThroughCache`."""
+
+    __slots__ = ("lock", "entries", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int):
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[str, SimulationResult] = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class ReadThroughCache:
+    """Sharded in-memory LRU tier over a :class:`ResultCache`.
+
+    The simulation service answers hot result lookups from this tier —
+    a memory hit costs one dict probe under a per-shard lock, never a
+    disk read, never the simulator.  Misses fall through to the backing
+    disk cache and populate the memory tier on the way back (the
+    *read-through* contract); :meth:`put` writes through to disk, so a
+    restart loses only latency, never results.
+
+    Keys are the content hashes of :func:`job_key` (hex), sharded by
+    their leading digits: concurrent readers of different keys contend
+    on different locks, and the eviction clock is per shard, so one
+    scan-heavy client cannot flush another shard's hot entries.
+    Capacity is ``capacity_per_shard`` entries *per shard*; the
+    least-recently-used entry of a full shard is evicted on insert.
+
+    Thread-safe; designed for one writer (the execution loop) and many
+    readers (HTTP handlers), but safe for any mix.
+    """
+
+    def __init__(
+        self,
+        backing: Optional[ResultCache] = None,
+        *,
+        shards: int = 16,
+        capacity_per_shard: int = 256,
+    ):
+        if shards < 1 or capacity_per_shard < 1:
+            raise ValueError("shards and capacity_per_shard must be >= 1")
+        self.backing = backing
+        self._shards = [_CacheShard(capacity_per_shard) for _ in range(shards)]
+        self.backing_hits = 0
+        self.stores = 0
+
+    def _shard_for(self, key: str) -> _CacheShard:
+        try:
+            index = int(key[:4], 16)
+        except ValueError:  # non-hex key: still deterministic
+            index = hash(key)
+        return self._shards[index % len(self._shards)]
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Memory tier, then backing store, then ``None``."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            hit = shard.entries.get(key)
+            if hit is not None:
+                shard.entries.move_to_end(key)
+                shard.hits += 1
+                return hit
+            shard.misses += 1
+        if self.backing is None:
+            return None
+        result = self.backing.get(key)
+        if result is not None:
+            self.backing_hits += 1
+            self._install(shard, key, result)
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Install in the memory tier and write through to the backing."""
+        self._install(self._shard_for(key), key, result)
+        self.stores += 1
+        if self.backing is not None:
+            self.backing.put(key, result)
+
+    def warm(self, key: str, result: SimulationResult) -> None:
+        """Install in the memory tier only (no backing write).
+
+        For results some other path already persisted — e.g. the
+        service's runner stores every simulated result in the shared
+        disk cache itself, so completing a job only needs to make the
+        hot tier current.
+        """
+        self._install(self._shard_for(key), key, result)
+
+    def contains_in_memory(self, key: str) -> bool:
+        """True when *key* is resident (no promotion, no stat changes)."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
+
+    def _install(
+        self, shard: _CacheShard, key: str, result: SimulationResult
+    ) -> None:
+        with shard.lock:
+            if key in shard.entries:
+                shard.entries.move_to_end(key)
+                shard.entries[key] = result
+                return
+            while len(shard.entries) >= shard.capacity:
+                shard.entries.popitem(last=False)
+                shard.evictions += 1
+            shard.entries[key] = result
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate and per-shard counters (the telemetry payload)."""
+        per_shard = [
+            {
+                "entries": len(s.entries),
+                "hits": s.hits,
+                "misses": s.misses,
+                "evictions": s.evictions,
+            }
+            for s in self._shards
+        ]
+        hits = sum(s["hits"] for s in per_shard)
+        misses = sum(s["misses"] for s in per_shard)
+        return {
+            "shards": len(self._shards),
+            "entries": sum(s["entries"] for s in per_shard),
+            "memory_hits": hits,
+            "memory_misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "backing_hits": self.backing_hits,
+            "evictions": sum(s["evictions"] for s in per_shard),
+            "stores": self.stores,
+            "per_shard": per_shard,
+        }

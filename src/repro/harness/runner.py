@@ -105,6 +105,22 @@ class RunnerStats:
     def sims_per_sec(self) -> float:
         return self.simulated / self.elapsed if self.elapsed > 0 else 0.0
 
+    def snapshot(self) -> dict[str, float]:
+        """Plain-data counters (the service's telemetry payload)."""
+        return {
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "retries": self.retries,
+            "failures": self.failures,
+            "uncacheable": self.uncacheable,
+            "cancelled": self.cancelled,
+            "elapsed": self.elapsed,
+            "hit_rate": self.hit_rate,
+            "sims_per_sec": self.sims_per_sec,
+        }
+
     def summary(self) -> str:
         """The one-line metrics report emitted after a batch."""
         cancelled = f"{self.cancelled} cancelled · " if self.cancelled else ""
@@ -117,14 +133,52 @@ class RunnerStats:
         )
 
 
+#: Frames a timeout must not raise from: an exception raised inside a
+#: GC callback is "unraisable" (it never reaches the caller, and pytest
+#: escalates it to a warning), and one raised inside import/warning
+#: machinery propagates out of whatever innocent allocation triggered
+#: it, skipping the runner's except-and-retry entirely.  The interval
+#: re-arm means declining here only defers the raise to the next alarm,
+#: which lands in an ordinary frame.
+_FRAGILE_FRAME_MARKERS = (
+    "importlib",
+    "warnings.py",
+    "tracemalloc.py",
+    "linecache.py",
+    "unraisableexception.py",
+)
+
+
+def _frame_safe_to_raise(frame) -> bool:
+    depth = 0
+    while frame is not None and depth < 16:
+        code = frame.f_code
+        if code.co_name == "gc_callback":
+            return False
+        filename = code.co_filename
+        if any(marker in filename for marker in _FRAGILE_FRAME_MARKERS):
+            return False
+        frame = frame.f_back
+        depth += 1
+    return True
+
+
 def _run_with_timeout(job: Job, timeout: Optional[float]) -> SimulationResult:
     """Execute *job*, bounded by an interval timer where the OS has one."""
     spec = job.spec()
     if not timeout or not hasattr(signal, "SIGALRM"):
         return _run_spec(spec)
 
+    # The armed flag closes the pending-delivery race: a signal that
+    # arrived at the C level just before the disarm below can still be
+    # delivered to the Python handler a few bytecodes *after* the try
+    # block has exited, where a raise would escape the caller's
+    # except-and-retry — so the handler only raises while armed.
+    armed = True
+
     def _expired(signum, frame):
-        raise JobTimeoutError(f"job {job.label} exceeded {timeout}s")
+        if armed and _frame_safe_to_raise(frame):
+            raise JobTimeoutError(f"job {job.label} exceeded {timeout}s")
 
     previous = signal.signal(signal.SIGALRM, _expired)
     # Re-arm the timer rather than firing once: if the first SIGALRM
@@ -137,6 +191,7 @@ def _run_with_timeout(job: Job, timeout: Optional[float]) -> SimulationResult:
     try:
         return _run_spec(spec)
     finally:
+        armed = False
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
 
@@ -549,6 +604,18 @@ class RunnerSession:
             handle._future = future
             self._futures[future] = handle
         return handle
+
+    def submit_spec(self, spec: ExperimentSpec, tag: Any = None) -> TrialHandle:
+        """:meth:`submit` for an :class:`ExperimentSpec`.
+
+        The convenience entry point of callers that live entirely in
+        spec vocabulary — the simulation service feeds its job queue
+        through here, one long-lived session per server process, from a
+        dedicated execution thread (the session API is not thread-safe;
+        confine each session to one thread and hand results off through
+        your own queue).
+        """
+        return self.submit(Job.from_spec(spec), tag)
 
     def cancel(self, handle: TrialHandle) -> bool:
         """Revoke *handle* if its job has not started; True on success.

@@ -26,10 +26,13 @@ builds a spec from the legacy keyword vocabulary.
 from __future__ import annotations
 
 import dataclasses
+import enum
+import importlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
 from repro.cache.hierarchy import HierarchyConfig
+from repro.cache.set_assoc import CacheGeometry
 from repro.core.config import ICRConfig
 from repro.core.registry import normalize_scheme_name
 from repro.cpu.pipeline import PipelineConfig
@@ -186,12 +189,136 @@ class ExperimentSpec:
 
         return job_key(self.benchmark, self.scheme, self.run_kwargs())
 
+    # -- wire form ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe wire form; the simulation service's submission payload.
+
+        Round-trips exactly: ``ExperimentSpec.from_dict(spec.to_dict())``
+        equals *spec* and shares its :meth:`key` — the property that
+        makes a spec submitted over HTTP the same cache identity as one
+        run locally.  *scheme* must be a registered name (prebuilt
+        :class:`~repro.core.config.ICRConfig` objects have no stable
+        wire form); *benchmark* may be a name or a full
+        :class:`~repro.workloads.generator.WorkloadProfile`.  Raises
+        :class:`ValueError` for specs that cannot be represented.
+        """
+        if not isinstance(self.scheme, str):
+            raise ValueError(
+                "only named schemes are wire-serializable; got a prebuilt "
+                f"{type(self.scheme).__name__}"
+            )
+        out: dict[str, Any] = {
+            "format": SPEC_WIRE_FORMAT,
+            "benchmark": (
+                self.benchmark
+                if isinstance(self.benchmark, str)
+                else {"__profile__": dataclasses.asdict(self.benchmark)}
+            ),
+            "scheme": self.scheme,
+            "scheme_kwargs": {
+                name: _wire_value(value) for name, value in self.scheme_kwargs
+            },
+        }
+        for name in _SPEC_FIELDS:
+            value = getattr(self, name)
+            if name == "machine":
+                value = _machine_to_dict(value) if value is not None else None
+            out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict` (raises :class:`ValueError` on bad input)."""
+        if data.get("format") != SPEC_WIRE_FORMAT:
+            raise ValueError(f"unsupported spec format {data.get('format')!r}")
+        benchmark = data["benchmark"]
+        if isinstance(benchmark, dict):
+            benchmark = WorkloadProfile(**benchmark["__profile__"])
+        known: dict[str, Any] = {}
+        for name in _SPEC_FIELDS:
+            if name not in data:
+                continue
+            value = data[name]
+            if name == "machine" and value is not None:
+                value = _machine_from_dict(value)
+            known[name] = value
+        scheme_kwargs = {
+            name: _unwire_value(value)
+            for name, value in dict(data.get("scheme_kwargs", {})).items()
+        }
+        return cls(
+            benchmark, data["scheme"], scheme_kwargs=scheme_kwargs, **known
+        )
+
 
 def _freeze(value: Any) -> Any:
     """Recursively turn lists into tuples so spec fields stay hashable."""
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(v) for v in value)
     return value
+
+
+#: Version tag of the spec wire form (:meth:`ExperimentSpec.to_dict`).
+SPEC_WIRE_FORMAT = 1
+
+
+def _wire_value(value: Any) -> Any:
+    """JSON-safe form of one scheme kwarg (raises ValueError otherwise).
+
+    Enums are tagged with their import path so :func:`_unwire_value`
+    reconstructs the *same* object — a spec built with
+    ``victim_policy=VictimPolicy.DEAD_FIRST`` and its wire round-trip
+    hash to one cache key.
+    """
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        return {
+            "__enum__": f"{cls.__module__}:{cls.__qualname__}",
+            "value": value.value,
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_wire_value(v) for v in value]
+    raise ValueError(
+        f"scheme kwarg of type {type(value).__name__} is not wire-serializable"
+    )
+
+
+def _unwire_value(value: Any) -> Any:
+    """Inverse of :func:`_wire_value`."""
+    if isinstance(value, dict):
+        path = value.get("__enum__")
+        if not isinstance(path, str) or ":" not in path:
+            raise ValueError(f"malformed wire value {value!r}")
+        module_name, _, qualname = path.partition(":")
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj(value["value"])
+    if isinstance(value, list):
+        return [_unwire_value(v) for v in value]
+    return value
+
+
+def _machine_to_dict(machine: MachineConfig) -> dict[str, Any]:
+    """Wire form of a full machine (all leaves are plain scalars)."""
+    if machine.pipeline.fu_specs is not None:
+        raise ValueError("custom fu_specs are not wire-serializable")
+    return dataclasses.asdict(machine)
+
+
+def _machine_from_dict(data: Mapping[str, Any]) -> MachineConfig:
+    hierarchy = dict(data["hierarchy"])
+    for geom in ("l1i_geometry", "l2_geometry"):
+        hierarchy[geom] = CacheGeometry(**hierarchy[geom])
+    return MachineConfig(
+        hierarchy=HierarchyConfig(**hierarchy),
+        pipeline=PipelineConfig(**data["pipeline"]),
+        parity_fraction=data["parity_fraction"],
+        ecc_fraction=data["ecc_fraction"],
+    )
 
 
 #: Run-parameter fields of the spec (everything except the identity pair

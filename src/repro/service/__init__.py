@@ -1,0 +1,35 @@
+"""Simulation-as-a-service: the job server over the reproduction runner.
+
+``repro.service`` turns the batch harness into a long-running server:
+many clients submit :class:`~repro.api.ExperimentSpec` and campaign
+payloads over HTTP+JSON; the service persists them to a crash-safe job
+queue, dedupes identical work in flight, executes on the existing
+runner/engine substrate, and answers hot keys from a sharded in-memory
+read-through cache.  Results are byte-identical to calling
+:func:`repro.api.run_experiment` directly — the service adds transport,
+load leveling and sharing, never semantics.
+
+The package consumes the simulator exclusively through the frozen
+:mod:`repro.api` facade.  See ``DESIGN.md`` §13 for the architecture
+and the threading model.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobRecord, PersistentJobQueue
+from repro.service.server import (
+    ServiceConfig,
+    ServiceThread,
+    SimulationService,
+    serve,
+)
+
+__all__ = [
+    "JobRecord",
+    "PersistentJobQueue",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "SimulationService",
+    "serve",
+]

@@ -1,0 +1,169 @@
+"""A blocking stdlib client for the simulation service.
+
+:class:`ServiceClient` wraps :mod:`http.client` so scripts, tests and
+the CLI can talk to a running :class:`~repro.service.SimulationService`
+without any dependency beyond the standard library.  Every call opens
+one connection (the server closes per request anyway), decodes JSON,
+and raises :class:`ServiceError` with the server's message on any
+non-2xx status.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Optional
+
+from repro.api import ExperimentSpec, SimulationResult, result_from_dict
+
+
+class ServiceError(Exception):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one service instance at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, spec: ExperimentSpec) -> dict[str, Any]:
+        """Submit one experiment; returns the job summary payload.
+
+        The response's ``submission`` field says how it was satisfied:
+        ``queued``, ``deduped`` (an identical spec is already in
+        flight) or ``cached`` (answered from the result store without
+        running anything).
+        """
+        return self._request("POST", "/v1/jobs", {"spec": spec.to_dict()})
+
+    def submit_campaign(self, campaign: dict[str, Any]) -> dict[str, Any]:
+        """Submit a campaign config (plain keyword dict)."""
+        return self._request("POST", "/v1/campaigns", {"campaign": campaign})
+
+    # -- inspection -------------------------------------------------------
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def result(self, key: str) -> SimulationResult:
+        """The cached result for a spec key (raises 404 on a miss)."""
+        payload = self._request("GET", f"/v1/results/{key}")
+        return result_from_dict(payload["result"])
+
+    def telemetry(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/telemetry")
+
+    def schemes(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/schemes")["schemes"]
+
+    def health(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    # -- waiting ----------------------------------------------------------
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until *job_id* reaches a terminal state; the job payload.
+
+        Raises :class:`TimeoutError` if the deadline passes and
+        :class:`ServiceError` never (a failed job is returned with
+        ``state == "failed"``; inspect ``job["job"]["error"]``).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["job"]["state"] in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {payload['job']['state']!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def run(self, spec: ExperimentSpec, *, timeout: float = 300.0
+            ) -> SimulationResult:
+        """Submit, wait, and return the result — the one-call path."""
+        submitted = self.submit(spec)
+        if "result" in submitted:  # answered from cache at submission
+            return result_from_dict(submitted["result"])
+        payload = self.wait(submitted["job"]["id"], timeout=timeout)
+        job = payload["job"]
+        if job["state"] != "done":
+            raise ServiceError(500, job.get("error") or "job failed")
+        return result_from_dict(payload["result"])
+
+    # -- progress streaming ------------------------------------------------
+
+    def events(
+        self, job_id: str, *, since: int = 0, timeout: float = 300.0
+    ) -> Iterator[dict[str, Any]]:
+        """Yield the job's SSE progress events until it turns terminal.
+
+        Each yielded dict is one decoded ``data:`` payload (``seq``,
+        ``ts``, ``event``, plus event-specific fields).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read() or b"{}")
+                raise ServiceError(
+                    response.status, data.get("error", "unknown error")
+                )
+            for raw in response:
+                line = raw.decode().rstrip("\n")
+                if line.startswith("data: "):
+                    event = json.loads(line[len("data: "):])
+                    yield event
+                    if event.get("event") in ("done", "failed"):
+                        return
+        finally:
+            conn.close()

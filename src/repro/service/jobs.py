@@ -1,0 +1,164 @@
+"""The service's persistent job queue: crash-safe, resumable, one file per job.
+
+Load leveling for the job server: every accepted submission becomes a
+:class:`JobRecord` persisted under the queue directory *before* the
+client hears back, so a server killed mid-burst loses nothing — on
+restart, :meth:`PersistentJobQueue.load` returns every record, demoting
+jobs that were ``running`` when the process died back to ``queued``
+(their execution was interrupted; re-running is safe because trials are
+deterministic and results are content-addressed).
+
+Writes are atomic (temp file + ``os.replace``, the same discipline as
+the result cache and campaign checkpoints), so a crash mid-write leaves
+either the old record or the new one, never a torn file.  A corrupted
+record is skipped on load rather than raised — one bad file cannot
+brick the queue.
+
+The job id is the spec's canonical content key (campaigns: the campaign
+digest), which is exactly what makes the queue a dedup table: an
+identical resubmission maps onto the existing record instead of a new
+simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States in which a job will not run again without a resubmission.
+TERMINAL = (DONE, FAILED)
+
+#: Version tag of the on-disk record format.
+JOB_FORMAT = 1
+
+
+@dataclass
+class JobRecord:
+    """One submitted job, mirrored between memory and disk.
+
+    ``payload`` is the submission's wire form (``{"spec": ...}`` for
+    experiments, ``{"campaign": ...}`` for campaigns) — everything
+    needed to re-create the work after a restart.  ``report`` holds a
+    finished campaign's report payload; experiment results are *not*
+    stored here (they live in the content-addressed result cache under
+    ``id``, which is the spec key).
+    """
+
+    id: str
+    kind: str  # "experiment" | "campaign"
+    payload: dict[str, Any]
+    state: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    report: Optional[dict[str, Any]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": JOB_FORMAT,
+            "id": self.id,
+            "kind": self.kind,
+            "payload": self.payload,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "attempts": self.attempts,
+            "error": self.error,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobRecord":
+        if data.get("format") != JOB_FORMAT:
+            raise ValueError(f"unsupported job format {data.get('format')!r}")
+        return cls(
+            id=data["id"],
+            kind=data["kind"],
+            payload=data["payload"],
+            state=data["state"],
+            created=data["created"],
+            started=data["started"],
+            finished=data["finished"],
+            attempts=data["attempts"],
+            error=data["error"],
+            report=data["report"],
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """The wire view returned by the job endpoints (no payload body)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+class PersistentJobQueue:
+    """One JSON file per job under *root*; atomic writes, tolerant loads."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job_id: str) -> Path:
+        # Job ids are content hashes (hex) or "campaign-<hex>"; keep a
+        # belt-and-braces guard against path separators anyway.
+        safe = job_id.replace("/", "_").replace("\\", "_")
+        return self.root / f"{safe}.json"
+
+    def save(self, record: JobRecord) -> None:
+        """Persist *record* atomically (temp file + rename)."""
+        path = self.path_for(record.id)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record.to_dict()))
+        os.replace(tmp, path)
+
+    def load(self) -> list[JobRecord]:
+        """Every readable record, with interrupted jobs demoted to queued.
+
+        Records are returned in submission order (``created``, then id
+        for stability), so a restarted server drains its backlog in the
+        order clients submitted it.
+        """
+        records = []
+        for path in self.root.glob("*.json"):
+            try:
+                record = JobRecord.from_dict(json.loads(path.read_text()))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # torn or stale-format file: skip, never raise
+            if record.state == RUNNING:
+                # The process died mid-run; the work is repeatable.
+                record.state = QUEUED
+                record.started = None
+                self.save(record)
+            records.append(record)
+        records.sort(key=lambda r: (r.created, r.id))
+        return records
+
+    def remove(self, job_id: str) -> None:
+        try:
+            self.path_for(job_id).unlink()
+        except OSError:
+            pass

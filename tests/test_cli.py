@@ -142,3 +142,63 @@ class TestRunnerFlags:
         assert main(base + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         assert parallel == serial
+
+
+class TestUnknownSchemeExitCode:
+    """Unknown schemes exit 2 uniformly, with the registry's catalog."""
+
+    def test_run_unknown_scheme_exits_2(self, capsys):
+        assert main(["run", "gzip", "no-such-scheme"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-scheme" in err
+        assert "ICR-P-PS(S)" in err  # the catalog is listed
+
+    def test_campaign_unknown_scheme_exits_2(self, capsys):
+        code = main(
+            ["campaign", "--benchmark", "gzip", "--schemes", "no-such-scheme"]
+        )
+        assert code == 2
+        assert "registered schemes" in capsys.readouterr().err
+
+    def test_submit_unknown_scheme_exits_2_before_connecting(self, capsys):
+        # The spec is validated locally, so this needs no server.
+        code = main(
+            ["submit", "gzip", "no-such-scheme", "--port", "1"]
+        )
+        assert code == 2
+        assert "no-such-scheme" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_submit_unreachable_server_exits_1(self, capsys):
+        code = main(
+            ["submit", "gzip", "BaseP", "--port", "9", "--no-wait"]
+        )
+        assert code == 1
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_status_unreachable_server_exits_1(self, capsys):
+        assert main(["status", "--port", "9"]) == 1
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_submit_and_status_against_live_server(self, tmp_path, capsys):
+        from repro.service import ServiceConfig, ServiceThread
+
+        config = ServiceConfig(
+            port=0, workers=1, queue_dir=tmp_path / "queue"
+        )
+        with ServiceThread(config) as st:
+            port = str(st.port)
+            code = main(
+                [
+                    "submit", "gzip", "BaseP",
+                    "--instructions", "5000", "--port", port,
+                ]
+            )
+            captured = capsys.readouterr()
+            assert code == 0
+            assert "BaseP on gzip" in captured.out
+            assert main(["status", "--port", port]) == 0
+            captured = capsys.readouterr()
+            assert "experiment  done" in captured.out
+            assert "1 submissions" in captured.err

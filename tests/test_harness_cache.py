@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.harness.cache import (
+    ReadThroughCache,
     ResultCache,
     UncacheableJobError,
     code_version,
@@ -202,3 +203,85 @@ class TestNoCacheBypass:
         assert runner.stats.uncacheable == 1
         assert runner.stats.simulated == 1
         assert list(tmp_path.iterdir()) == []
+
+
+class TestReadThroughCache:
+    """The in-memory LRU tier the simulation service serves from."""
+
+    def _result(self, n=N):
+        return run_experiment(
+            ExperimentSpec("gzip", "BaseP", n_instructions=n)
+        )
+
+    def test_read_through_populates_memory_tier(self, tmp_path):
+        backing = ResultCache(tmp_path)
+        result = self._result()
+        backing.put("ab" * 16, result)
+        store = ReadThroughCache(backing)
+        assert not store.contains_in_memory("ab" * 16)
+        first = store.get("ab" * 16)  # disk -> memory
+        assert first.to_dict() == result.to_dict()
+        assert store.contains_in_memory("ab" * 16)
+        stats = store.stats()
+        assert stats["backing_hits"] == 1
+        assert stats["memory_hits"] == 0
+        second = store.get("ab" * 16)  # now a pure memory hit
+        assert second is first
+        assert store.stats()["memory_hits"] == 1
+
+    def test_put_writes_through_to_backing(self, tmp_path):
+        backing = ResultCache(tmp_path)
+        store = ReadThroughCache(backing)
+        result = self._result()
+        store.put("cd" * 16, result)
+        assert backing.get("cd" * 16) is not None
+
+    def test_warm_is_memory_only(self, tmp_path):
+        backing = ResultCache(tmp_path)
+        store = ReadThroughCache(backing)
+        store.warm("ef" * 16, self._result())
+        assert store.contains_in_memory("ef" * 16)
+        assert backing.get("ef" * 16) is None
+
+    def test_miss_everywhere_is_none(self, tmp_path):
+        store = ReadThroughCache(ResultCache(tmp_path))
+        assert store.get("99" * 16) is None
+        assert ReadThroughCache(None).get("99" * 16) is None
+
+    def test_lru_eviction_per_shard(self):
+        store = ReadThroughCache(None, shards=1, capacity_per_shard=2)
+        result = self._result()
+        store.warm("aaaa", result)
+        store.warm("bbbb", result)
+        store.get("aaaa")  # make "bbbb" the LRU entry
+        store.warm("cccc", result)  # evicts "bbbb"
+        assert store.contains_in_memory("aaaa")
+        assert not store.contains_in_memory("bbbb")
+        assert store.contains_in_memory("cccc")
+        assert store.stats()["evictions"] == 1
+
+    def test_keys_spread_across_shards(self):
+        store = ReadThroughCache(None, shards=4, capacity_per_shard=8)
+        result = self._result()
+        for i in range(16):
+            store.warm(f"{i:04x}{'0' * 28}", result)
+        occupied = [
+            s for s in store.stats()["per_shard"] if s["entries"] > 0
+        ]
+        assert len(occupied) > 1
+
+    def test_stats_hit_rate(self):
+        store = ReadThroughCache(None, shards=1, capacity_per_shard=4)
+        store.warm("aaaa", self._result())
+        store.get("aaaa")
+        store.get("ffff")
+        stats = store.stats()
+        assert stats["memory_hits"] == 1
+        assert stats["memory_misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            ReadThroughCache(None, shards=0)
+        with pytest.raises(ValueError):
+            ReadThroughCache(None, capacity_per_shard=0)

@@ -1,0 +1,163 @@
+"""The frozen public API surface and the spec wire contract.
+
+``repro.api`` is the facade external consumers (and the service) build
+against.  Its ``__all__`` is a compatibility contract: removing or
+renaming a name is a breaking change, and this test is the tripwire —
+the pinned list below must be edited *consciously* in the same commit.
+
+The second half pins the wire format: every registered scheme's spec
+must survive ``to_dict -> json -> from_dict`` with an identical content
+key, because the service uses that key as the dedup/job/cache id.
+"""
+
+import json
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.api import ExperimentSpec, UnknownSchemeError, list_schemes
+from repro.core.config import VictimPolicy
+from repro.workloads import PROFILES
+
+#: The frozen contract.  Additions are appended; removals are breaking.
+PINNED_ALL = [
+    "DEFAULT_INSTRUCTIONS",
+    "ExperimentSpec",
+    "MachineConfig",
+    "SimulationResult",
+    "result_from_dict",
+    "result_to_dict",
+    "ParallelRunner",
+    "ReadThroughCache",
+    "ResultCache",
+    "run_experiment",
+    "CampaignConfig",
+    "CampaignReport",
+    "create_engine",
+    "run_campaign",
+    "DL1Outcome",
+    "DataL1",
+    "InjectionTarget",
+    "SchemeEntry",
+    "SchemeInfo",
+    "UnknownSchemeError",
+    "get_scheme",
+    "list_schemes",
+    "register_scheme",
+]
+
+
+class TestFacade:
+    def test_all_is_pinned(self):
+        assert sorted(api.__all__) == sorted(PINNED_ALL)
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_reachable_from_package_root(self):
+        assert repro.api is api
+        assert "api" in repro.__all__
+
+    def test_no_private_leakage(self):
+        assert not [n for n in api.__all__ if n.startswith("_")]
+
+    def test_unknown_scheme_error_is_value_error(self):
+        # Pre-facade callers catch ValueError; the subclassing keeps
+        # them working while giving the service a precise type for 400.
+        assert issubclass(UnknownSchemeError, ValueError)
+        with pytest.raises(ValueError):
+            api.get_scheme("no-such-scheme")
+
+    def test_get_scheme_error_lists_catalog(self):
+        with pytest.raises(UnknownSchemeError) as exc_info:
+            api.get_scheme("no-such-scheme")
+        message = str(exc_info.value)
+        for name in list_schemes():
+            assert name in message
+
+
+class TestSpecWireRoundTrip:
+    def test_every_registered_scheme_round_trips(self):
+        for scheme in list_schemes():
+            spec = ExperimentSpec("gzip", scheme, n_instructions=5000)
+            wire = json.loads(json.dumps(spec.to_dict()))
+            back = ExperimentSpec.from_dict(wire)
+            assert back == spec
+            assert back.key() == spec.key()
+
+    def test_round_trip_with_enum_kwargs(self):
+        spec = ExperimentSpec(
+            "mcf",
+            "ICR-P-PS(S)",
+            n_instructions=4000,
+            error_rate=1e-2,
+            scheme_kwargs={
+                "decay_window": 1000,
+                "victim_policy": VictimPolicy.DEAD_FIRST,
+                "leave_replicas_on_evict": True,
+            },
+        )
+        wire = json.loads(json.dumps(spec.to_dict()))
+        back = ExperimentSpec.from_dict(wire)
+        assert back == spec
+        assert back.key() == spec.key()
+        assert dict(back.scheme_kwargs)["victim_policy"] is (
+            VictimPolicy.DEAD_FIRST
+        )
+
+    def test_round_trip_with_profile_benchmark(self):
+        profile = PROFILES["gzip"]
+        spec = ExperimentSpec(profile, "BaseP", n_instructions=3000)
+        wire = json.loads(json.dumps(spec.to_dict()))
+        back = ExperimentSpec.from_dict(wire)
+        assert back.key() == spec.key()
+
+    def test_round_trip_with_machine(self):
+        machine = api.MachineConfig()
+        spec = ExperimentSpec(
+            "gzip", "BaseP", n_instructions=3000, machine=machine
+        )
+        wire = json.loads(json.dumps(spec.to_dict()))
+        back = ExperimentSpec.from_dict(wire)
+        assert back.key() == spec.key()
+
+    def test_all_backends_round_trip(self):
+        for backend in ("object", "array"):
+            spec = ExperimentSpec(
+                "gzip", "BaseP", n_instructions=3000, backend=backend
+            )
+            back = ExperimentSpec.from_dict(spec.to_dict())
+            assert back.backend == backend
+            assert back.key() == spec.key()
+
+    def test_unknown_scheme_rejected_on_from_dict(self):
+        wire = ExperimentSpec("gzip", "BaseP", n_instructions=3000).to_dict()
+        wire["scheme"] = "no-such-scheme"
+        with pytest.raises(UnknownSchemeError):
+            ExperimentSpec.from_dict(wire)
+
+    def test_format_version_checked(self):
+        wire = ExperimentSpec("gzip", "BaseP").to_dict()
+        wire["format"] = 999
+        with pytest.raises(ValueError, match="format"):
+            ExperimentSpec.from_dict(wire)
+
+
+class TestPluginProtocol:
+    def test_schemes_satisfy_data_l1(self):
+        from repro.api import DataL1
+        from repro.core import make_cache
+
+        for scheme in list_schemes():
+            model = make_cache(scheme)
+            target = getattr(model, "injection_target", model)
+            assert isinstance(target, DataL1), scheme
+
+    def test_outcome_shape(self):
+        from repro.api import DL1Outcome
+
+        outcome = DL1Outcome(hit=True, latency=1)
+        assert outcome.hit and outcome.latency == 1
+        assert outcome.replica_fill is False

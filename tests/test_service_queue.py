@@ -1,0 +1,193 @@
+"""Unit tests for the persistent job queue and the HTTP layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    response_bytes,
+    sse_event,
+)
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    PersistentJobQueue,
+)
+
+
+class TestJobRecord:
+    def test_round_trip(self):
+        record = JobRecord(
+            id="abc", kind="experiment", payload={"spec": {"x": 1}},
+            state=DONE, attempts=2, error=None,
+        )
+        back = JobRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert back == record
+
+    def test_terminal_states(self):
+        record = JobRecord(id="a", kind="experiment", payload={})
+        assert not record.terminal
+        record.state = RUNNING
+        assert not record.terminal
+        record.state = DONE
+        assert record.terminal
+        record.state = FAILED
+        assert record.terminal
+
+    def test_summary_omits_payload(self):
+        record = JobRecord(id="a", kind="experiment", payload={"big": "x"})
+        assert "payload" not in record.summary()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            JobRecord.from_dict({"format": 999})
+
+
+class TestPersistentJobQueue:
+    def _record(self, job_id="job-1", state=QUEUED):
+        return JobRecord(
+            id=job_id, kind="experiment",
+            payload={"spec": {"benchmark": "gzip"}}, state=state,
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        queue = PersistentJobQueue(tmp_path / "q")
+        record = self._record()
+        queue.save(record)
+        assert PersistentJobQueue(tmp_path / "q").load() == [record]
+
+    def test_running_jobs_demoted_to_queued_on_load(self, tmp_path):
+        """The crash-recovery contract: interrupted work re-queues."""
+        queue = PersistentJobQueue(tmp_path / "q")
+        record = self._record(state=RUNNING)
+        record.started = 123.0
+        queue.save(record)
+        loaded = PersistentJobQueue(tmp_path / "q").load()
+        assert loaded[0].state == QUEUED
+        assert loaded[0].started is None
+        # ... and the demotion itself was persisted.
+        reloaded = PersistentJobQueue(tmp_path / "q").load()
+        assert reloaded[0].state == QUEUED
+
+    def test_terminal_jobs_load_unchanged(self, tmp_path):
+        queue = PersistentJobQueue(tmp_path / "q")
+        queue.save(self._record(state=DONE))
+        assert PersistentJobQueue(tmp_path / "q").load()[0].state == DONE
+
+    def test_corrupt_file_skipped_not_raised(self, tmp_path):
+        queue = PersistentJobQueue(tmp_path / "q")
+        queue.save(self._record())
+        (tmp_path / "q" / "torn.json").write_text("{not json")
+        assert len(PersistentJobQueue(tmp_path / "q").load()) == 1
+
+    def test_load_orders_by_submission_time(self, tmp_path):
+        queue = PersistentJobQueue(tmp_path / "q")
+        second = self._record("b")
+        second.created = 2.0
+        first = self._record("a")
+        first.created = 1.0
+        queue.save(second)
+        queue.save(first)
+        assert [r.id for r in queue.load()] == ["a", "b"]
+
+    def test_remove(self, tmp_path):
+        queue = PersistentJobQueue(tmp_path / "q")
+        queue.save(self._record())
+        queue.remove("job-1")
+        queue.remove("job-1")  # idempotent
+        assert queue.load() == []
+
+    def test_path_traversal_neutralized(self, tmp_path):
+        queue = PersistentJobQueue(tmp_path / "q")
+        path = queue.path_for("../../evil")
+        assert path.parent == queue.root
+
+
+def _parse(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestHttpParser:
+    def test_get_with_query(self):
+        req = _parse(b"GET /v1/jobs/abc/events?since=3 HTTP/1.1\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/v1/jobs/abc/events"
+        assert req.query == {"since": "3"}
+
+    def test_post_with_body(self):
+        body = b'{"spec": 1}'
+        raw = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        req = _parse(raw)
+        assert req.json() == {"spec": 1}
+
+    def test_clean_eof_is_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_request_is_400(self):
+        with pytest.raises(HttpError) as exc_info:
+            _parse(b"GET /x HTTP/1.1\r\n")  # no terminating blank line
+        assert exc_info.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+        with pytest.raises(HttpError) as exc_info:
+            _parse(raw)
+        assert exc_info.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+        with pytest.raises(HttpError) as exc_info:
+            _parse(raw)
+        assert exc_info.value.status == 413
+
+    def test_malformed_json_body_is_400(self):
+        req = Request(method="POST", path="/x", body=b"{nope")
+        with pytest.raises(HttpError) as exc_info:
+            req.json()
+        assert exc_info.value.status == 400
+
+
+class TestHttpResponses:
+    def test_response_has_length_and_close(self):
+        raw = response_bytes(200, b"hi")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 2" in head
+        assert b"Connection: close" in head
+        assert body == b"hi"
+
+    def test_json_response_round_trips(self):
+        raw = json_response(202, {"a": 1})
+        _, _, body = raw.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"a": 1}
+
+    def test_sse_event_frame(self):
+        frame = sse_event("done", {"seq": 4}, event_id=4).decode()
+        assert frame.startswith("id: 4\n")
+        assert "event: done\n" in frame
+        assert frame.endswith("\n\n")
+        data_line = [
+            line for line in frame.splitlines() if line.startswith("data: ")
+        ][0]
+        assert json.loads(data_line[len("data: "):]) == {"seq": 4}
