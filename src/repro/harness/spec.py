@@ -287,15 +287,31 @@ def _wire_value(value: Any) -> Any:
 
 
 def _unwire_value(value: Any) -> Any:
-    """Inverse of :func:`_wire_value`."""
+    """Inverse of :func:`_wire_value`.
+
+    Wire payloads are untrusted (the job server feeds them straight off
+    the network), so the ``__enum__`` tag is *not* a free import-and-call
+    gadget: the path must resolve inside this package and to an actual
+    :class:`enum.Enum` subclass, or the payload is rejected.
+    """
     if isinstance(value, dict):
         path = value.get("__enum__")
         if not isinstance(path, str) or ":" not in path:
             raise ValueError(f"malformed wire value {value!r}")
         module_name, _, qualname = path.partition(":")
-        obj: Any = importlib.import_module(module_name)
-        for part in qualname.split("."):
-            obj = getattr(obj, part)
+        root = __name__.partition(".")[0]
+        if module_name != root and not module_name.startswith(root + "."):
+            raise ValueError(
+                f"wire enum {path!r} is outside the {root!r} package"
+            )
+        try:
+            obj: Any = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+        except (ImportError, AttributeError):
+            raise ValueError(f"wire enum {path!r} does not resolve") from None
+        if not (isinstance(obj, type) and issubclass(obj, enum.Enum)):
+            raise ValueError(f"wire enum {path!r} is not an enum type")
         return obj(value["value"])
     if isinstance(value, list):
         return [_unwire_value(v) for v in value]

@@ -135,6 +135,12 @@ class ServiceClient:
         job = payload["job"]
         if job["state"] != "done":
             raise ServiceError(500, job.get("error") or "job failed")
+        if payload.get("result") is None:
+            raise ServiceError(
+                404,
+                f"job {job['id']!r} is done but its result is no longer "
+                "cached on the server; resubmit the spec to re-run it",
+            )
         return result_from_dict(payload["result"])
 
     # -- progress streaming ------------------------------------------------

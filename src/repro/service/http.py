@@ -101,6 +101,8 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
             n = int(length)
         except ValueError:
             raise HttpError(400, "malformed Content-Length") from None
+        if n < 0:
+            raise HttpError(400, "malformed Content-Length")
         if n > MAX_BODY_BYTES:
             raise HttpError(413, "request body too large")
         try:

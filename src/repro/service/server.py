@@ -41,6 +41,7 @@ import asyncio
 import queue as _thread_queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -96,6 +97,12 @@ class ServiceConfig:
     max_campaigns: int = 2
     #: Per-job wall-clock budget forwarded to the runner.
     timeout: Optional[float] = None
+    #: In-memory retention bounds, so a long-running server does not
+    #: grow linearly with every job ever submitted: latency samples per
+    #: backend, and terminal job records (+ their event logs) kept as
+    #: the dedup index.
+    max_latency_samples: int = 512
+    max_terminal_jobs: int = 4096
 
 
 def _latency_summary(values: list[float]) -> dict[str, Any]:
@@ -145,7 +152,7 @@ class SimulationService:
         self._jobs: dict[str, JobRecord] = {}
         self._events: dict[str, list[dict[str, Any]]] = {}
         self._pending: _thread_queue.Queue = _thread_queue.Queue()
-        self._latency: dict[str, list[float]] = {}
+        self._latency: dict[str, deque] = {}
         self._campaign_telemetry: dict[str, dict[str, Any]] = {}
         self._campaign_tasks: set[asyncio.Task] = set()
         self._campaign_pool: Optional[ThreadPoolExecutor] = None
@@ -213,14 +220,30 @@ class SimulationService:
             await self.stop()
 
     def _resume_backlog(self) -> None:
-        """Reload persisted jobs; re-dispatch everything non-terminal."""
+        """Reload persisted jobs; re-dispatch everything non-terminal.
+
+        Dispatch is fault-isolated per record: a persisted payload that
+        no longer validates (scheme removed, field renamed, spec format
+        bump) marks that one record failed instead of raising out of
+        :meth:`start` — the jobs-module contract that one bad file
+        cannot brick the queue.
+        """
         for record in self.queue.load():
             self._jobs[record.id] = record
             self._events.setdefault(record.id, [])
             if record.terminal:
                 continue
             self._emit(record.id, "queued", resumed=True)
-            self._dispatch(record)
+            try:
+                self._dispatch(record)
+            except Exception as exc:
+                record.state = _jobs.FAILED
+                record.finished = time.time()
+                record.error = f"failed to resume: {exc}"[:4000]
+                self.jobs_failed += 1
+                self.queue.save(record)
+                self._emit(record.id, "failed", error=record.error)
+        self._prune_terminal()
 
     # -- submission and dispatch (loop thread) ----------------------------
 
@@ -259,8 +282,11 @@ class SimulationService:
             self.dedup_hits += 1
             return record, "deduped"
         if record is not None and record.state == _jobs.DONE:
-            self.cache_served += 1
-            return record, "cached"
+            if self.store.get(job_id) is not None:
+                self.cache_served += 1
+                return record, "cached"
+            # The record says done but the result was evicted from
+            # every tier: fall through and re-run the spec.
         # Fresh key (or a failed record being retried): a warm disk
         # cache can still answer without the runner.
         result = self.store.get(job_id)
@@ -276,6 +302,7 @@ class SimulationService:
             self.queue.save(record)
             self._emit(job_id, "done", cached=True)
             self.cache_served += 1
+            self._prune_terminal()
             return record, "cached"
         record = JobRecord(
             id=job_id, kind="experiment", payload={"spec": spec.to_dict()}
@@ -384,9 +411,9 @@ class SimulationService:
             self.jobs_done += 1
             backend = record.payload["spec"].get("backend", "object")
             if record.started is not None:
-                self._latency.setdefault(backend, []).append(
-                    record.finished - record.started
-                )
+                self._latency.setdefault(
+                    backend, deque(maxlen=self.config.max_latency_samples)
+                ).append(record.finished - record.started)
             self._emit(job_id, "done", cached=handle.cached)
         else:
             record.state = _jobs.FAILED
@@ -394,6 +421,7 @@ class SimulationService:
             self.jobs_failed += 1
             self._emit(job_id, "failed", error=record.error)
         self.queue.save(record)
+        self._prune_terminal()
 
     # -- campaign execution (loop task + worker thread) --------------------
 
@@ -423,6 +451,7 @@ class SimulationService:
             self.jobs_failed += 1
             self.queue.save(record)
             self._emit(job_id, "failed", error=record.error)
+            self._prune_terminal()
             return
         record.state = _jobs.DONE
         record.finished = time.time()
@@ -431,6 +460,7 @@ class SimulationService:
         self.jobs_done += 1
         self.queue.save(record)
         self._emit(job_id, "done")
+        self._prune_terminal()
 
     def _run_campaign(
         self, job_id: str, config: CampaignConfig
@@ -460,6 +490,26 @@ class SimulationService:
         import json as _json
 
         return _json.loads(report.to_json()), telemetry
+
+    def _prune_terminal(self) -> None:
+        """Bound retention of finished jobs (memory *and* queue files).
+
+        The job table doubles as the dedup index, so terminal records
+        stick around — but only the newest ``max_terminal_jobs`` of
+        them.  Evicting an old done job is safe: its result still lives
+        in the content-addressed cache, so a resubmission of the same
+        spec is answered read-through without touching the runner.
+        """
+        cap = self.config.max_terminal_jobs
+        terminal = [r for r in self._jobs.values() if r.terminal]
+        if len(terminal) <= cap:
+            return
+        terminal.sort(key=lambda r: (r.finished or r.created, r.id))
+        for record in terminal[: len(terminal) - cap]:
+            del self._jobs[record.id]
+            self._events.pop(record.id, None)
+            self._campaign_telemetry.pop(record.id, None)
+            self.queue.remove(record.id)
 
     # -- progress events ---------------------------------------------------
 
@@ -500,7 +550,7 @@ class SimulationService:
             "store": self.store.stats(),
             "runner": self.runner.stats.snapshot(),
             "backend_latency": {
-                backend: _latency_summary(vals)
+                backend: _latency_summary(list(vals))
                 for backend, vals in sorted(self._latency.items())
             },
             "campaigns": self._campaign_telemetry,
@@ -583,9 +633,11 @@ class SimulationService:
             and rest[2] == "events"
             and req.method == "GET"
         ):
-            await self._stream_events(
-                writer, rest[1], int(req.query.get("since", 0))
-            )
+            try:
+                since = int(req.query.get("since", 0))
+            except ValueError:
+                raise HttpError(400, "since must be an integer") from None
+            await self._stream_events(writer, rest[1], since)
         elif len(rest) == 2 and rest[0] == "results" and req.method == "GET":
             result = self.store.get(rest[1])
             if result is None:

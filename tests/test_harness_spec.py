@@ -149,3 +149,40 @@ class TestResultRoundTrip:
         payload["format"] = 999
         with pytest.raises(ValueError, match="format"):
             SimulationResult.from_dict(payload)
+
+
+class TestWireEnumHardening:
+    """The spec wire form is untrusted input (the job server feeds it
+    straight off the network), so the ``__enum__`` tag must reject
+    anything that is not an enum type inside this package — it is not a
+    generic import-and-call gadget."""
+
+    def _payload(self, tag, value):
+        base = ExperimentSpec("gzip", "ICR-P-PS(S)").to_dict()
+        base["scheme_kwargs"] = {"victim_policy": {"__enum__": tag, "value": value}}
+        return base
+
+    def test_module_outside_package_rejected(self):
+        payload = self._payload("os:system", "true")
+        with pytest.raises(ValueError, match="outside"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_package_prefix_spoof_rejected(self):
+        payload = self._payload("reprox.evil:Thing", 1)
+        with pytest.raises(ValueError, match="outside"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_non_enum_target_rejected(self):
+        payload = self._payload("repro.harness.spec:ExperimentSpec", "x")
+        with pytest.raises(ValueError, match="not an enum"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_unresolvable_target_rejected(self):
+        payload = self._payload("repro.harness.spec:NoSuchThing", 1)
+        with pytest.raises(ValueError, match="does not resolve"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_malformed_tag_rejected(self):
+        payload = self._payload("no-colon-here", 1)
+        with pytest.raises(ValueError, match="malformed"):
+            ExperimentSpec.from_dict(payload)

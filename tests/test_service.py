@@ -10,6 +10,8 @@ All servers bind port 0 (ephemeral) and run one in-process worker, so
 the suite is deterministic and leaves no stray processes.
 """
 
+import json
+import socket
 import threading
 
 import pytest
@@ -289,3 +291,96 @@ class TestIntrospection:
         latency = telemetry["backend_latency"]["object"]
         assert latency["count"] == 1
         assert sum(latency["histogram"]["counts"]) == 1
+
+
+class TestReviewHardening:
+    """Regression tests for the security/robustness review: hostile wire
+    input, resume fault isolation, bounded retention, and recovery when
+    a finished job's result has been evicted from every cache tier."""
+
+    def test_enum_gadget_payload_is_400(self, tmp_path):
+        """The __enum__ wire tag must not import-and-call outside repro."""
+        with ServiceThread(_config(tmp_path)) as st:
+            client = ServiceClient(port=st.port)
+            bad = SPEC.to_dict()
+            bad["scheme_kwargs"] = {
+                "victim_policy": {"__enum__": "os:system", "value": "true"}
+            }
+            with pytest.raises(ServiceError) as exc_info:
+                client._request("POST", "/v1/jobs", {"spec": bad})
+            assert exc_info.value.status == 400
+
+    def test_negative_content_length_is_400(self, tmp_path):
+        with ServiceThread(_config(tmp_path)) as st:
+            with socket.create_connection(
+                ("127.0.0.1", st.port), timeout=10
+            ) as sock:
+                sock.sendall(
+                    b"POST /v1/jobs HTTP/1.1\r\n"
+                    b"Host: t\r\nContent-Length: -5\r\n\r\n"
+                )
+                reply = sock.recv(65536)
+        assert reply.startswith(b"HTTP/1.1 400")
+
+    def test_non_integer_since_is_400(self, tmp_path):
+        with ServiceThread(_config(tmp_path)) as st:
+            client = ServiceClient(port=st.port)
+            with pytest.raises(ServiceError) as exc_info:
+                client._request("GET", "/v1/jobs/x/events?since=abc")
+            assert exc_info.value.status == 400
+
+    def test_stale_persisted_record_cannot_brick_boot(self, tmp_path):
+        """A persisted payload that no longer validates fails that one
+        job on resume instead of preventing the server from starting."""
+        with ServiceThread(_config(tmp_path), start_execution=False) as st:
+            ServiceClient(port=st.port).submit(SPEC)
+        # Rot the record the way a scheme rename would: it still parses
+        # as a JobRecord, but its spec no longer validates.
+        path = tmp_path / "queue" / f"{SPEC.key()}.json"
+        record = json.loads(path.read_text())
+        record["payload"]["spec"]["scheme"] = "no-such-scheme"
+        path.write_text(json.dumps(record))
+        with ServiceThread(_config(tmp_path)) as st:
+            client = ServiceClient(port=st.port)
+            assert client.health()
+            job = client.job(SPEC.key())["job"]
+            assert job["state"] == "failed"
+            assert "no-such-scheme" in job["error"]
+
+    def test_terminal_retention_is_bounded_and_safe(self, tmp_path):
+        other = ExperimentSpec("gzip", "BaseP", n_instructions=5000)
+        config = _config(
+            tmp_path, max_terminal_jobs=1, max_latency_samples=1
+        )
+        with ServiceThread(config) as st:
+            client = ServiceClient(port=st.port)
+            client.run(SPEC, timeout=120)
+            client.run(other, timeout=120)
+            assert len(client.jobs()) == 1  # oldest record expired
+            telemetry = client.telemetry()
+            # Expiring a done record is safe: the spec is still answered
+            # from the content-addressed cache without re-running.
+            resubmitted = client.submit(SPEC)
+            assert resubmitted["submission"] == "cached"
+            assert "result" in resubmitted
+            assert telemetry["runner"]["simulated"] == 2
+            assert telemetry["backend_latency"]["object"]["count"] == 1
+
+    def test_evicted_result_triggers_rerun_not_null(self, tmp_path):
+        """A done job whose result vanished from every tier re-runs on
+        resubmission instead of answering "cached" with a null result."""
+        with ServiceThread(_config(tmp_path)) as st:
+            client = ServiceClient(port=st.port)
+            client.run(SPEC, timeout=120)
+            assert st.service is not None
+            for shard in st.service.store._shards:
+                with shard.lock:
+                    shard.entries.clear()
+            st.service.runner._memo.clear()
+            for file in (tmp_path / "cache").rglob("*.json"):
+                file.unlink()
+            resubmitted = client.submit(SPEC)
+            assert resubmitted["submission"] == "queued"
+            payload = client.wait(SPEC.key(), timeout=120)
+            assert payload["result"] is not None
+            assert client.telemetry()["runner"]["simulated"] == 2
