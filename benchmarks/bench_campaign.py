@@ -56,6 +56,15 @@ def _scheduler_entry(report, telemetry, elapsed):
         "trials": trials,
         "trials_per_sec": round(trials / elapsed, 2) if elapsed else None,
         "telemetry": telemetry,
+        # Multi-host cooperation: how much of the helper-trial effort
+        # (trials run for cells owned by another engine) actually warmed
+        # the shared result cache with fresh simulations.
+        "helper_warming": {
+            "submitted": telemetry.get("helper_trials", 0),
+            "completed": telemetry.get("helper_completed", 0),
+            "warmed": telemetry.get("helper_warmed", 0),
+            "warm_rate": round(telemetry.get("helper_warm_rate", 0.0), 4),
+        },
     }
 
 

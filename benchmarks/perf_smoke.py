@@ -225,6 +225,39 @@ def print_comparison(trajectory: dict, stream=sys.stdout) -> None:
         print(line, file=stream)
 
 
+def check_within(
+    trajectory: dict,
+    fraction: float,
+    metric: str = "end_to_end_sims_per_sec",
+    stream=sys.stderr,
+) -> bool:
+    """Is the latest *metric* within *fraction* of the previous entry?
+
+    Compares the trajectory's last entry against the one before it (the
+    committed baseline when CI re-measures under a fixed label).  An
+    *improvement* always passes; only a drop beyond ``fraction`` fails.
+    With fewer than two entries there is nothing to compare — passes.
+    """
+    entries = trajectory.get("entries", [])
+    if len(entries) < 2:
+        print(f"assert-within: no baseline entry for {metric}", file=stream)
+        return True
+    current = entries[-1].get("metrics", {}).get(metric)
+    baseline = entries[-2].get("metrics", {}).get(metric)
+    if not current or not baseline:
+        print(f"assert-within: metric {metric!r} missing", file=stream)
+        return True
+    ratio = current / baseline
+    ok = ratio >= 1.0 - fraction
+    print(
+        f"assert-within: {metric} {current:,.1f} vs baseline "
+        f"{baseline:,.1f} ({entries[-2]['label']}) = {ratio:.3f}x "
+        f"(floor {1.0 - fraction:.2f}x) -> {'OK' if ok else 'REGRESSION'}",
+        file=stream,
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="smoke", help="entry label")
@@ -234,13 +267,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="only print the recorded trajectory (no measurement)",
     )
+    parser.add_argument(
+        "--assert-within",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="exit 1 if end_to_end_sims_per_sec dropped more than FRAC "
+        "(e.g. 0.05) below the previous trajectory entry",
+    )
     args = parser.parse_args(argv)
     if args.check:
         print_comparison(load_trajectory())
         return 0
     metrics = collect_metrics(args.repeats)
     append_entry(args.label, metrics)
-    print_comparison(load_trajectory())
+    trajectory = load_trajectory()
+    print_comparison(trajectory)
+    if args.assert_within is not None:
+        if not check_within(trajectory, args.assert_within):
+            return 1
     return 0
 
 

@@ -29,13 +29,20 @@ The surface, by role:
   :func:`get_scheme` over the registry, :class:`SchemeInfo` /
   :class:`SchemeEntry`, :func:`register_scheme` for external scheme
   packages, the :class:`DataL1` / :class:`InjectionTarget` plugin
-  protocols with :class:`DL1Outcome`, and :class:`UnknownSchemeError` —
-  the uniform unknown-scheme failure (CLI exit 2, HTTP 400).
+  protocols with :class:`DL1Outcome`, :func:`check_scheme` (a
+  behavioural conformance check external packages run in their own
+  test suites), and :class:`UnknownSchemeError` — the uniform
+  unknown-scheme failure (CLI exit 2, HTTP 400).
 """
 
 from __future__ import annotations
 
-from repro.core.protocol import DataL1, DL1Outcome, InjectionTarget
+from repro.core.protocol import (
+    DataL1,
+    DL1Outcome,
+    InjectionTarget,
+    check_scheme,
+)
 from repro.core.registry import (
     SchemeEntry,
     SchemeInfo,
@@ -88,6 +95,7 @@ __all__ = [
     "SchemeEntry",
     "SchemeInfo",
     "UnknownSchemeError",
+    "check_scheme",
     "get_scheme",
     "list_schemes",
     "register_scheme",

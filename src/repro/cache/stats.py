@@ -38,6 +38,9 @@ class CacheStats:
     parity_generates: int = 0
     ecc_checks: int = 0
     ecc_generates: int = 0
+    # Store hits whose write (and code regeneration) was suppressed
+    # because the stored value would not change (silent-store-aware ECC).
+    silent_stores: int = 0
 
     # Traffic between levels.
     writebacks: int = 0

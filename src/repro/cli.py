@@ -119,6 +119,37 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
     )
     run.add_argument("--leave-replicas", action="store_true")
+    run.add_argument(
+        "--placement",
+        choices=("distance", "power2", "ring"),
+        default=None,
+        help="replica placement policy (default: the paper's distance walk)",
+    )
+    run.add_argument(
+        "--replication-factor",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ring placement: replicas per line",
+    )
+    run.add_argument(
+        "--virtual-nodes",
+        type=int,
+        default=None,
+        help="ring placement: ring points per set",
+    )
+    run.add_argument(
+        "--ring-attempts",
+        type=int,
+        default=None,
+        help="placement fallback walk length (ring/power2)",
+    )
+    run.add_argument(
+        "--ring-hash",
+        choices=("mix", "identity"),
+        default=None,
+        help="ring position hash (identity = distance-equivalent layout)",
+    )
     run.add_argument("--error-rate", type=float, default=0.0)
     run.add_argument(
         "--error-model",
@@ -347,6 +378,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scheme_kwargs["victim_policy"] = VictimPolicy(args.victim)
     if args.leave_replicas:
         scheme_kwargs["leave_replicas_on_evict"] = True
+    if args.placement is not None:
+        scheme_kwargs["placement"] = args.placement
+    if args.replication_factor is not None:
+        scheme_kwargs["replication_factor"] = args.replication_factor
+    if args.virtual_nodes is not None:
+        scheme_kwargs["virtual_nodes"] = args.virtual_nodes
+    if args.ring_attempts is not None:
+        scheme_kwargs["ring_attempts"] = args.ring_attempts
+    if args.ring_hash is not None:
+        scheme_kwargs["ring_hash"] = args.ring_hash
     runner = _make_runner(args)
     try:
         spec = ExperimentSpec(

@@ -65,7 +65,13 @@ from repro.cache.set_assoc import CacheGeometry, Eviction
 from repro.cache.stats import CacheStats
 from repro.coding.protection import ProtectionKind
 from repro.core import _native
-from repro.core.config import ICRConfig, LookupMode, VictimPolicy
+from repro.core.config import (
+    ICRConfig,
+    LookupMode,
+    VictimPolicy,
+    silent_store_hash,
+)
+from repro.core.placement import HashRing, build_placement
 from repro.core.protocol import DL1Outcome
 
 # ---------------------------------------------------------------------------
@@ -252,13 +258,23 @@ class ArrayDL1:
         self._allow_invalid = config.replicate_into_invalid
         self._max_replicas = config.max_replicas
 
-        self._distances = config.resolved_distances()
-        self._second_distances = config.resolved_second_distances() or (
-            n_sets // 4,
-        )
-        self._all_distances = config.all_replica_distances()
+        # Replica placement comes from the same policy object the object
+        # kernel builds (repro.core.placement), so both kernels walk the
+        # same candidate sets.  Home-pure policies expose the distance
+        # lists the walks below iterate; rings answer per line.
+        placement = build_placement(config)
+        self._ring = placement if isinstance(placement, HashRing) else None
+        self._distances = placement.distances
+        self._second_distances = placement.second_distances
+        self._all_distances = placement.all_distances
         self._distance_pos = {d: i for i, d in enumerate(self._all_distances)}
         self._n_all_distances = len(self._all_distances)
+
+        # Silent-store-aware ECC; the sequence counter lives outside the
+        # stats so a warmup reset never perturbs which stores are silent.
+        self._silent_sw = config.silent_store_suppression
+        self._silent_threshold = int(config.silent_store_fraction * 65536)
+        self._silent_seq = 0
 
         window = config.decay_window
         self._always_dead = window == 0
@@ -338,6 +354,19 @@ class ArrayDL1:
         reps = self._reps[f]
         if is_write:
             stats.store_hits += 1
+            if self._silent_sw:
+                self._silent_seq += 1
+                if (
+                    silent_store_hash(self._tag[f], self._silent_seq)
+                    < self._silent_threshold
+                ):
+                    stats.silent_stores += 1
+                    stats.array_reads += 1
+                    if self._prot[f] == _PARITY:
+                        stats.parity_checks += 1
+                    else:
+                        stats.ecc_checks += 1
+                    return OUT_STORE_HIT
             stats.array_writes += 1
             if self._writeback:
                 self._dirty[f] = True
@@ -406,20 +435,34 @@ class ArrayDL1:
                 else:
                     del self._replica_index[block_addr]
             if live:
-                home = block_addr & self._set_mask
-                n = self._n_sets
-                pos_of = self._distance_pos.get
                 shift = self._assoc_shift
-                for b in live:
-                    pos = pos_of(((b >> shift) - home) % n)
-                    if pos is None:
-                        continue  # parked at a distance the walk skips
-                    key = (pos, b & self._way_mask)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        best = b
+                if self._ring is not None:
+                    pos_of = self._ring.lookup(block_addr)[1].get
+                    for b in live:
+                        pos = pos_of(b >> shift)
+                        if pos is None:
+                            continue
+                        key = (pos, b & self._way_mask)
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best = b
+                else:
+                    home = block_addr & self._set_mask
+                    n = self._n_sets
+                    pos_of = self._distance_pos.get
+                    for b in live:
+                        pos = pos_of(((b >> shift) - home) % n)
+                        if pos is None:
+                            continue  # parked at a distance the walk skips
+                        key = (pos, b & self._way_mask)
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best = b
         if best < 0:
-            self.stats.tag_probes += self._n_all_distances
+            if self._ring is not None:
+                self.stats.tag_probes += len(self._ring.lookup(block_addr)[0])
+            else:
+                self.stats.tag_probes += self._n_all_distances
             return -1
         self.stats.tag_probes += best_key[0] + 1
         return best
@@ -512,6 +555,18 @@ class ArrayDL1:
         if not self._replicates or self._reps[f]:
             return
         stats = self.stats
+        ring = self._ring
+        if ring is not None:
+            stats.replication_attempts += 1
+            walks = ring.lookup(self._tag[f])[2]
+            if self._place_sets(f, walks[0], now) < 0:
+                return
+            stats.replication_successes += 1
+            for walk in walks[1:]:
+                stats.second_replica_attempts += 1
+                if self._place_sets(f, walk, now) >= 0:
+                    stats.second_replica_successes += 1
+            return
         stats.replication_attempts += 1
         placed = self._place(f, self._distances, now)
         if placed < 0:
@@ -525,40 +580,52 @@ class ArrayDL1:
 
     def _place(self, f: int, distances: tuple[int, ...], now: int) -> int:
         """Port of ``ReplicationPolicy.place``: walk candidate sets."""
-        stats = self.stats
         block_addr = self._tag[f]
         home = block_addr & self._set_mask
         n = self._n_sets
-        valid = self._valid
-        is_rep = self._is_rep
         for distance in distances:
-            target = (home + distance) % n
-            stats.tag_probes += 1
-            v = self._find_victim(target, now, f, block_addr)
-            if v < 0:
-                continue
-            if valid[v] and not is_rep[v]:
-                if self._is_dead(v, now):
-                    stats.dead_evictions += 1
-            self.evict_frame(v)
-            self._fill(v, block_addr, now, is_replica=True, dirty=False)
-            self._prot[v] = _PARITY
-            self._prim[v] = f
-            self._reps[f].append(v)
-            self._index_replica(v, block_addr)
-            self._lru_clock += 1
-            self._lru[v] = self._lru_clock
-            stats.array_writes += 1
-            stats.parity_generates += 1
-            # Replicated lines carry the replicated-state protection.
-            if self._prot[f] != self._prot_rep:
-                self._prot[f] = self._prot_rep
-                if self._prot_rep == _PARITY:
-                    stats.parity_generates += 1
-                else:
-                    stats.ecc_generates += 1
-            return v
+            v = self._try_install(f, (home + distance) % n, now)
+            if v >= 0:
+                return v
         return -1
+
+    def _place_sets(self, f: int, targets: tuple[int, ...], now: int) -> int:
+        """Ring walk: candidate sets come precomputed from the policy."""
+        for target in targets:
+            v = self._try_install(f, target, now)
+            if v >= 0:
+                return v
+        return -1
+
+    def _try_install(self, f: int, target: int, now: int) -> int:
+        """One placement attempt into one candidate set."""
+        stats = self.stats
+        block_addr = self._tag[f]
+        stats.tag_probes += 1
+        v = self._find_victim(target, now, f, block_addr)
+        if v < 0:
+            return -1
+        if self._valid[v] and not self._is_rep[v]:
+            if self._is_dead(v, now):
+                stats.dead_evictions += 1
+        self.evict_frame(v)
+        self._fill(v, block_addr, now, is_replica=True, dirty=False)
+        self._prot[v] = _PARITY
+        self._prim[v] = f
+        self._reps[f].append(v)
+        self._index_replica(v, block_addr)
+        self._lru_clock += 1
+        self._lru[v] = self._lru_clock
+        stats.array_writes += 1
+        stats.parity_generates += 1
+        # Replicated lines carry the replicated-state protection.
+        if self._prot[f] != self._prot_rep:
+            self._prot[f] = self._prot_rep
+            if self._prot_rep == _PARITY:
+                stats.parity_generates += 1
+            else:
+                stats.ecc_generates += 1
+        return v
 
     def _find_victim(
         self, set_index: int, now: int, exclude_frame: int, exclude_addr: int
@@ -1053,9 +1120,12 @@ def run_batched(spec, profile, config: ICRConfig, machine):
     fill_from_replica = dl1._fill_from_replica
     dl1_miss = dl1._miss
     dl1_replicate = dl1._replicate
+    silent_sw = dl1._silent_sw
+    silent_thr = dl1._silent_threshold
+    silent_seq = dl1._silent_seq
     d_loads = d_stores = d_probes = d_lhits = d_shits = 0
     d_reads = d_writes = d_pchecks = d_pgens = d_echecks = d_egens = 0
-    d_lhits_rep = d_rupdates = 0
+    d_lhits_rep = d_rupdates = d_silent = 0
 
     # iL1 hot-path state.
     itag_get = l1i._tag_index.get
@@ -1079,7 +1149,7 @@ def run_batched(spec, profile, config: ICRConfig, machine):
             mem_accesses = 0
             d_loads = d_stores = d_probes = d_lhits = d_shits = 0
             d_reads = d_writes = d_pchecks = d_pgens = d_echecks = d_egens = 0
-            d_lhits_rep = d_rupdates = 0
+            d_lhits_rep = d_rupdates = d_silent = 0
             i_probes = i_loads = i_lhits = i_reads = 0
         if new_block[idx]:
             pc = pcs[idx]
@@ -1148,6 +1218,29 @@ def run_batched(spec, profile, config: ICRConfig, machine):
             f = dtag_get(ba, -1)
             if f >= 0:
                 d_shits += 1
+                if silent_sw:
+                    # Silent-store-aware ECC: the read-compare shows the
+                    # value is unchanged; skip write/dirty/regenerate.
+                    d_lru_clock += 1
+                    dlru[f] = d_lru_clock
+                    silent_seq += 1
+                    if silent_store_hash(ba, silent_seq) < silent_thr:
+                        d_silent += 1
+                        d_reads += 1
+                        if dprot[f]:
+                            d_echecks += 1
+                        else:
+                            d_pchecks += 1
+                    else:
+                        d_writes += 1
+                        ddirty[f] = True
+                        if dprot[f]:
+                            d_egens += 1
+                        else:
+                            d_pgens += 1
+                    # Suppression implies a non-replicating scheme, so
+                    # there is no replica/trigger work on this path.
+                    continue
                 d_writes += 1
                 ddirty[f] = True
                 d_lru_clock += 1
@@ -1192,11 +1285,12 @@ def run_batched(spec, profile, config: ICRConfig, machine):
         mem_accesses = 0
         d_loads = d_stores = d_probes = d_lhits = d_shits = 0
         d_reads = d_writes = d_pchecks = d_pgens = d_echecks = d_egens = 0
-        d_lhits_rep = d_rupdates = 0
+        d_lhits_rep = d_rupdates = d_silent = 0
         i_probes = i_loads = i_lhits = i_reads = 0
 
     # Flush the fast-path locals back into the shared state.
     dl1._lru_clock = d_lru_clock
+    dl1._silent_seq = silent_seq
     ds = dl1.stats
     ds.loads += d_loads
     ds.stores += d_stores
@@ -1211,6 +1305,7 @@ def run_batched(spec, profile, config: ICRConfig, machine):
     ds.ecc_generates += d_egens
     ds.load_hits_with_replica += d_lhits_rep
     ds.replica_updates += d_rupdates
+    ds.silent_stores += d_silent
     l1i._lru_clock = i_lru_clock
     istats = l1i.stats
     istats.tag_probes += i_probes

@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.cache.set_assoc import CacheGeometry
 from repro.coding.protection import ProtectionKind
 from repro.core.hints import ReplicationHints
+
+if TYPE_CHECKING:  # pragma: no cover - placement imports config at runtime
+    from repro.core.placement import PlacementSpec
 
 #: Distance specifications accepted by the config: a literal set distance or
 #: a fraction of the number of sets ("N/2", "N/4", ...).
@@ -92,6 +95,26 @@ def power2_distances(n_sets: int, max_attempts: int) -> list[int]:
     return result[:max_attempts]
 
 
+_MASK64 = (1 << 64) - 1
+
+
+def silent_store_hash(block_addr: int, seq: int) -> int:
+    """Deterministic 16-bit hash deciding whether a store is silent.
+
+    The trace generator does not model data values, so "the written
+    value equals the stored value" (Lepak & Lipasti's silent stores) is
+    modelled as a pseudo-random event: store *seq* to *block_addr* is
+    silent when this hash falls below ``silent_store_fraction * 2^16``.
+    Both kernels call this exact function so the object/SoA/batched
+    paths stay bit-identical.
+    """
+    x = (block_addr * 0x9E3779B97F4A7C15 + seq * 0xD1B54A32D192ED03) & _MASK64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+    x ^= x >> 29
+    return x & 0xFFFF
+
+
 @dataclass(frozen=True)
 class ICRConfig:
     """Full configuration of one dL1 scheme.
@@ -113,6 +136,13 @@ class ICRConfig:
     replica_distances: tuple[DistanceSpec, ...] = ("N/2",)
     second_replica_distances: tuple[DistanceSpec, ...] = ()
     max_replicas: int = 1
+
+    # Replica placement policy (see repro.core.placement).  None means
+    # the paper's candidate-distance walk over the lists above; a
+    # PlacementSpec selects hash-ring or power-2 placement, in which
+    # case the distance lists (and max_replicas, for rings) are ignored
+    # in favour of the policy's own walk.
+    placement: Optional["PlacementSpec"] = None
 
     # Dead-block prediction: cycles from last access to predicted death.
     # 0 = the aggressive mode (dead as soon as the access completes);
@@ -148,6 +178,13 @@ class ICRConfig:
     # Bit-accurate word storage for fault-injection runs.
     track_data: bool = False
 
+    # Silent-store-aware ECC (Base schemes only): skip the write and the
+    # code regeneration when the stored value would not change.  The
+    # fraction is the modelled rate of silent stores (Lepak & Lipasti
+    # report 20-60% across SPEC; 0.4 is a representative midpoint).
+    silent_store_suppression: bool = False
+    silent_store_fraction: float = 0.4
+
     def __post_init__(self) -> None:
         if self.max_replicas not in (1, 2):
             raise ValueError("max_replicas must be 1 or 2")
@@ -157,6 +194,19 @@ class ICRConfig:
             raise ValueError(f"unknown write policy {self.write_policy!r}")
         if self.trigger is ReplicationTrigger.NONE and self.max_replicas != 1:
             raise ValueError("base schemes cannot request multiple replicas")
+        if self.placement is not None and self.trigger is ReplicationTrigger.NONE:
+            raise ValueError("base schemes cannot use a placement policy")
+        if self.silent_store_suppression and (
+            self.trigger is not ReplicationTrigger.NONE
+        ):
+            # Replicating schemes would have to reconcile suppressed
+            # writes with replica updates; the optimization targets the
+            # plain ECC baseline (ROADMAP item a).
+            raise ValueError(
+                "silent-store suppression applies to non-replicating schemes"
+            )
+        if not 0.0 <= self.silent_store_fraction <= 1.0:
+            raise ValueError("silent_store_fraction must be within [0, 1]")
 
     @property
     def replicates(self) -> bool:

@@ -33,7 +33,7 @@ from typing import Callable, Optional
 from repro.cache.block import CacheBlock
 from repro.cache.set_assoc import Eviction, SetAssociativeCache
 from repro.coding.protection import ProtectionKind
-from repro.core.config import ICRConfig, ReplicationTrigger
+from repro.core.config import ICRConfig, ReplicationTrigger, silent_store_hash
 from repro.core.decay import DeadBlockPredictor
 from repro.core.policies import (
     LookupPolicy,
@@ -73,6 +73,10 @@ class ICRCache(SetAssociativeCache):
         self._distances = self.replication_policy.distances
         self._second_distances = self.replication_policy.second_distances
         self._all_distances = self.replication_policy.all_distances
+        # Non-None when the scheme uses hash-ring placement: the probe
+        # and placement walks then come from the ring's per-line
+        # candidate table instead of the home-pure distance lists.
+        self._ring = self.replication_policy.ring
         self._evict_hook: Optional[Callable[[Eviction], None]] = None
         # Fault injection (attached by repro.errors.injector).
         self.injector = None
@@ -146,6 +150,12 @@ class ICRCache(SetAssociativeCache):
             and config.trigger is ReplicationTrigger.NONE
             and config.hints is None
         )
+        # Silent-store-aware ECC (Base schemes): the sequence counter is
+        # a cache attribute, not a stat, so a mid-trace stats reset (the
+        # warmup window) never perturbs which stores are silent.
+        self._silent_sw = config.silent_store_suppression
+        self._silent_threshold = int(config.silent_store_fraction * 65536)
+        self._silent_seq = 0
 
     # ------------------------------------------------------------------
     # hierarchy protocol
@@ -358,6 +368,23 @@ class ICRCache(SetAssociativeCache):
                 self.replacement.on_touch(block.set_index, block.way)
             if is_write:
                 stats.store_hits += 1
+                if self._silent_sw:
+                    self._silent_seq += 1
+                    if (
+                        silent_store_hash(block_addr, self._silent_seq)
+                        < self._silent_threshold
+                    ):
+                        # Silent store: the read-compare confirms the
+                        # stored value is unchanged, so the write, the
+                        # code regeneration and the dirty marking are
+                        # all skipped (the line stays clean).
+                        stats.silent_stores += 1
+                        stats.array_reads += 1
+                        if self._unrep_is_parity:
+                            stats.parity_checks += 1
+                        else:
+                            stats.ecc_checks += 1
+                        return self._out_store_hit
                 stats.array_writes += 1
                 if self._writeback:
                     block.dirty = True
@@ -417,6 +444,19 @@ class ICRCache(SetAssociativeCache):
         replicated = bool(primary.replica_refs)
         if is_write:
             stats.store_hits += 1
+            if self._silent_sw:
+                self._silent_seq += 1
+                if (
+                    silent_store_hash(primary.block_addr, self._silent_seq)
+                    < self._silent_threshold
+                ):
+                    stats.silent_stores += 1
+                    stats.array_reads += 1
+                    if primary.protection is ProtectionKind.PARITY:
+                        stats.parity_checks += 1
+                    else:
+                        stats.ecc_checks += 1
+                    return self._out_store_hit
             stats.array_writes += 1
             if self._writeback:
                 primary.dirty = True
@@ -499,20 +539,36 @@ class ICRCache(SetAssociativeCache):
                 else:
                     del self._replica_index[block_addr]
             if live:
-                home = block_addr & self._set_mask
-                n_sets = self._set_mask + 1
-                for block in live:
-                    pos = self._distance_pos.get(
-                        (block.set_index - home) % n_sets
-                    )
-                    if pos is None:
-                        continue  # parked at a distance this walk never visits
-                    key = (pos, block.way)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        best = block
+                if self._ring is not None:
+                    # Ring placement: the probe order is the line's
+                    # candidate window, ranked by window position.
+                    pos_map = self._ring.lookup(block_addr)[1]
+                    for block in live:
+                        pos = pos_map.get(block.set_index)
+                        if pos is None:
+                            continue
+                        key = (pos, block.way)
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best = block
+                else:
+                    home = block_addr & self._set_mask
+                    n_sets = self._set_mask + 1
+                    for block in live:
+                        pos = self._distance_pos.get(
+                            (block.set_index - home) % n_sets
+                        )
+                        if pos is None:
+                            continue  # parked at a distance this walk never visits
+                        key = (pos, block.way)
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best = block
         if best is None:
-            self.stats.tag_probes += len(self._all_distances)
+            if self._ring is not None:
+                self.stats.tag_probes += len(self._ring.lookup(block_addr)[0])
+            else:
+                self.stats.tag_probes += len(self._all_distances)
             return None
         self.stats.tag_probes += best_key[0] + 1
         return best

@@ -36,6 +36,7 @@ from repro.cache.block import CacheBlock
 from repro.coding.protection import ProtectionKind
 from repro.core.config import ICRConfig, LookupMode
 from repro.core.decay import DeadBlockPredictor
+from repro.core.placement import HashRing, build_placement
 from repro.core.victim import find_replica_victim
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -159,20 +160,18 @@ class ReplicationPolicy:
         self.max_replicas = config.max_replicas
         self.hints = config.hints
         self._block_size = config.geometry.block_size
-        self.distances = config.resolved_distances()
-        # Second-replica placement falls back to Distance-N/4 (the paper's
-        # choice) when software hints request two replicas but the config
-        # did not set explicit second distances.
-        self.second_distances = config.resolved_second_distances() or (
-            config.geometry.n_sets // 4,
+        # The placement layer owns "where do copies go?".  Home-pure
+        # policies (the default DistanceWalk, power-2) expose the same
+        # resolved distance lists this constructor used to compute, so
+        # the walk below is bit-identical to the pre-placement code;
+        # hash rings answer per line through placement.lookup().
+        self.placement = build_placement(config)
+        self.ring: Optional[HashRing] = (
+            self.placement if isinstance(self.placement, HashRing) else None
         )
-        all_distances = config.all_replica_distances()
-        if config.hints is not None:
-            # Hints may place second replicas at the fallback distance.
-            for d in self.second_distances:
-                if d not in all_distances:
-                    all_distances = all_distances + (d,)
-        self.all_distances = all_distances
+        self.distances = self.placement.distances
+        self.second_distances = self.placement.second_distances
+        self.all_distances = self.placement.all_distances
 
     def wants_fill_replica(self, block_addr: int) -> bool:
         """Should this demand fill also try to replicate the line?"""
@@ -189,7 +188,9 @@ class ReplicationPolicy:
         """Try to give *primary* its replica(s) (Section 3.1).
 
         Software hints (Section 6 future work) can exclude the line or
-        override how many replicas it gets.
+        override how many replicas it gets; under ring placement the
+        ring's replication factor governs the count (hints may still
+        veto the line entirely).
         """
         if not self.enabled or primary.replica_refs:
             return
@@ -205,6 +206,19 @@ class ReplicationPolicy:
             if wanted == 0:
                 return
         stats = self._cache.stats
+        ring = self.ring
+        if ring is not None:
+            stats.replication_attempts += 1
+            walks = ring.lookup(primary.block_addr)[2]
+            if self.place_sets(primary, walks[0], now) is None:
+                return
+            stats.replication_successes += 1
+            # Replicas beyond the first share the second-replica books.
+            for walk in walks[1:]:
+                stats.second_replica_attempts += 1
+                if self.place_sets(primary, walk, now) is not None:
+                    stats.second_replica_successes += 1
+            return
         stats.replication_attempts += 1
         placed = self.place(primary, self.distances, now)
         if placed is None:
@@ -221,48 +235,65 @@ class ReplicationPolicy:
     ) -> Optional[CacheBlock]:
         """Walk candidate distances; install a replica at the first home."""
         cache = self._cache
-        stats = cache.stats
-        sets = cache.sets
-        select = self.victims.select
-        predictor = self.victims.predictor
         block_addr = primary.block_addr
         home = block_addr & cache._set_mask
         n = cache._set_mask + 1
         for distance in distances:
-            target = (home + distance) % n
-            stats.tag_probes += 1
-            victim = select(
-                sets[target],
-                now,
-                exclude_block=primary,
-                exclude_addr=block_addr,
-            )
-            if victim is None:
-                continue
-            if victim.valid and not victim.is_replica:
-                if predictor.is_dead(victim, now):
-                    stats.dead_evictions += 1
-            cache.evict(victim)
-            victim.fill(block_addr, now, is_replica=True)
-            victim.protection = ProtectionKind.PARITY
-            victim.primary_ref = primary
-            primary.replica_refs.append(victim)
-            cache._index_replica(victim)
-            cache.touch_lru(victim)
-            stats.array_writes += 1
-            stats.parity_generates += 1
-            if cache._track_data:
-                victim.materialize_words(
-                    ProtectionKind.PARITY,
-                    [w.raw_data for w in primary.words]
-                    if primary.words is not None
-                    else list(cache._golden_words(block_addr)),
-                )
-                victim.golden = list(primary.golden or victim.golden)
-            # Replicated lines are parity-protected for 1-cycle loads.
-            new_kind = self.protection.replicated
-            if primary.protection is not new_kind:
-                primary.reprotect(new_kind)
-                self.protection.count_generate(stats, new_kind)
-            return victim
+            victim = self._try_install(primary, (home + distance) % n, now)
+            if victim is not None:
+                return victim
         return None
+
+    def place_sets(
+        self, primary: CacheBlock, targets: tuple[int, ...], now: int
+    ) -> Optional[CacheBlock]:
+        """Ring walk: candidate *sets* come precomputed from the policy."""
+        for target in targets:
+            victim = self._try_install(primary, target, now)
+            if victim is not None:
+                return victim
+        return None
+
+    def _try_install(
+        self, primary: CacheBlock, target: int, now: int
+    ) -> Optional[CacheBlock]:
+        """One placement attempt into one candidate set."""
+        cache = self._cache
+        stats = cache.stats
+        predictor = self.victims.predictor
+        block_addr = primary.block_addr
+        stats.tag_probes += 1
+        victim = self.victims.select(
+            cache.sets[target],
+            now,
+            exclude_block=primary,
+            exclude_addr=block_addr,
+        )
+        if victim is None:
+            return None
+        if victim.valid and not victim.is_replica:
+            if predictor.is_dead(victim, now):
+                stats.dead_evictions += 1
+        cache.evict(victim)
+        victim.fill(block_addr, now, is_replica=True)
+        victim.protection = ProtectionKind.PARITY
+        victim.primary_ref = primary
+        primary.replica_refs.append(victim)
+        cache._index_replica(victim)
+        cache.touch_lru(victim)
+        stats.array_writes += 1
+        stats.parity_generates += 1
+        if cache._track_data:
+            victim.materialize_words(
+                ProtectionKind.PARITY,
+                [w.raw_data for w in primary.words]
+                if primary.words is not None
+                else list(cache._golden_words(block_addr)),
+            )
+            victim.golden = list(primary.golden or victim.golden)
+        # Replicated lines are parity-protected for 1-cycle loads.
+        new_kind = self.protection.replicated
+        if primary.protection is not new_kind:
+            primary.reprotect(new_kind)
+            self.protection.count_generate(stats, new_kind)
+        return victim

@@ -119,4 +119,89 @@ class InjectionTarget(Protocol):
     def access(self, addr: int, is_write: bool, now: int) -> DL1Outcome: ...
 
 
-__all__ = ["DL1Outcome", "DataL1", "InjectionTarget"]
+def check_scheme(scheme, **kwargs) -> list:
+    """Conformance-check a scheme model against the plugin protocol.
+
+    *scheme* is a model class/factory (instantiated with ``**kwargs``)
+    or an already-built model instance.  Returns a list of
+    human-readable violations — empty means the model satisfies
+    everything the hierarchy, runner and energy model will ask of it.
+    External packages call this from their own test suites before
+    registering (it is exported as ``repro.api.check_scheme``), so a
+    protocol break fails their CI instead of a user's simulation.
+
+    The checks are behavioural, not just structural: the model is
+    actually driven through a store and a load to verify the outcome
+    shape, so a model that *has* an ``access`` attribute but returns
+    the wrong thing is still caught.
+    """
+    problems: list = []
+    if isinstance(scheme, type) or callable(scheme):
+        try:
+            model = scheme(**kwargs)
+        except Exception as exc:
+            return [f"building the model failed: {exc!r}"]
+    else:
+        model = scheme
+
+    if not isinstance(model, DataL1):
+        problems.append(
+            "model does not satisfy the DataL1 protocol (needs config, "
+            "stats, geometry, write_policy, access, set_evict_hook)"
+        )
+        return problems
+
+    config = model.config
+    name = getattr(config, "name", None)
+    if not isinstance(name, str) or not name:
+        problems.append("config.name must be a non-empty string")
+    geometry = getattr(config, "geometry", None)
+    for attr in ("n_sets", "associativity", "block_size", "block_offset_bits"):
+        if not isinstance(getattr(geometry, attr, None), int):
+            problems.append(f"config.geometry.{attr} must be an int")
+    if model.write_policy not in ("writeback", "writethrough"):
+        problems.append(
+            "write_policy must be 'writeback' or 'writethrough', "
+            f"got {model.write_policy!r}"
+        )
+    snapshot = getattr(model.stats, "snapshot", None)
+    if not callable(snapshot):
+        problems.append("stats must provide a snapshot() method")
+    else:
+        try:
+            snap = snapshot()
+            dict(snap)
+        except Exception as exc:
+            problems.append(f"stats.snapshot() must yield a mapping: {exc!r}")
+
+    try:
+        model.set_evict_hook(lambda *_args, **_kw: None)
+    except Exception as exc:
+        problems.append(f"set_evict_hook(callable) raised: {exc!r}")
+
+    try:
+        for addr, is_write in ((0, True), (0, False), (1 << 16, False)):
+            outcome = model.access(addr, is_write, 0)
+            if not isinstance(getattr(outcome, "hit", None), bool):
+                problems.append("access() outcome needs a bool 'hit'")
+                break
+            latency = getattr(outcome, "latency", "missing")
+            if latency is not None and not isinstance(latency, int):
+                problems.append("access() outcome needs int-or-None 'latency'")
+                break
+            if not hasattr(outcome, "replica_fill"):
+                problems.append("access() outcome needs 'replica_fill'")
+                break
+    except Exception as exc:
+        problems.append(f"access() raised on a demand access: {exc!r}")
+
+    target = getattr(model, "injection_target", model)
+    if target is not model and not isinstance(target, InjectionTarget):
+        problems.append(
+            "injection_target must satisfy InjectionTarget "
+            "(injector/monitor/scrubber slots + access)"
+        )
+    return problems
+
+
+__all__ = ["DL1Outcome", "DataL1", "InjectionTarget", "check_scheme"]

@@ -121,15 +121,64 @@ def normalize_scheme_name(name: str) -> str:
     Raises :class:`UnknownSchemeError` (a :class:`ValueError`) listing
     the registered schemes when the name (after spelling normalization)
     is not in the registry.  Idempotent: canonical names map to
-    themselves.
+    themselves.  Before giving up, external scheme packages advertised
+    under the ``repro.schemes`` entry-point group are loaded once.
     """
     canonical = _LOOKUP.get(_squash(name))
+    if canonical is None and load_entry_point_schemes():
+        canonical = _LOOKUP.get(_squash(name))
     if canonical is None:
         raise UnknownSchemeError(
             f"unknown scheme name {name!r}; registered schemes: "
             + ", ".join(registered_schemes())
+            + "; external packages can add schemes via the "
+            "'repro.schemes' entry-point group"
         )
     return canonical
+
+
+#: Entry-point group external packages register schemes under.
+ENTRY_POINT_GROUP = "repro.schemes"
+_entry_points_loaded = False
+
+
+def load_entry_point_schemes(*, force: bool = False) -> tuple[str, ...]:
+    """Load external schemes advertised via ``importlib.metadata``.
+
+    Any installed distribution can extend the catalog by declaring an
+    entry point in the ``repro.schemes`` group.  Each entry point may
+    resolve to a :class:`SchemeEntry` (registered directly), a callable
+    (invoked once; conventionally it calls :func:`register` itself), or
+    a module whose import performs the registration.  A failing entry
+    point is reported as a :class:`RuntimeWarning` and skipped — one
+    broken plugin must not take down scheme resolution.
+
+    Runs at most once per process (``force=True`` re-runs, for tests).
+    Returns the canonical names the load added to the catalog.
+    """
+    global _entry_points_loaded
+    if _entry_points_loaded and not force:
+        return ()
+    _entry_points_loaded = True
+    before = set(_REGISTRY)
+    import importlib.metadata as metadata
+
+    for ep in metadata.entry_points(group=ENTRY_POINT_GROUP):
+        try:
+            obj = ep.load()
+            if isinstance(obj, SchemeEntry):
+                register(obj)
+            elif callable(obj):
+                obj()
+        except Exception as exc:
+            import warnings
+
+            warnings.warn(
+                f"repro.schemes entry point {ep.name!r} failed: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return tuple(n for n in _REGISTRY if n not in before)
 
 
 def scheme_entry(name: str) -> SchemeEntry:
@@ -255,8 +304,46 @@ def _register_icr_family() -> None:
             "BaseP with a write-through dL1 + coalescing write buffer "
             "(Section 5.8)", _P, 1,
         ),
+        SchemeInfo(
+            "BaseECC-SW", "base",
+            "BaseECC with silent-store-aware ECC: the write and the "
+            "SEC-DED regeneration are skipped when the stored value "
+            "would not change (silent_store_fraction of store hits)",
+            _E, 2,
+            energy_note=(
+                "each silent store trades an array write + ECC generate "
+                "for an array read + ECC check and leaves the line "
+                "clean, saving writeback traffic"
+            ),
+            aliases=("baseecc-silent",),
+        ),
     ]
-    for info in base + icr + extras:
+    rings = [
+        SchemeInfo(
+            name=f"ICR-Ring-{n}",
+            kind="icr",
+            description=(
+                "in-cache replication with consistent-hash-ring "
+                f"placement: replication factor {n}, parity on "
+                "unreplicated lines, serial replica lookup, replicate "
+                "on stores (knobs: virtual_nodes, ring_attempts, "
+                "ring_hash)"
+            ),
+            protection=_P,
+            load_hit_latency=1,
+            load_hit_latency_replicated=1,
+            replicates=True,
+            accepts_icr_knobs=True,
+            energy_note=(
+                "ring successors replace the Distance-N/2 walk; probe "
+                "energy scales with the candidate window "
+                "(replication_factor + ring_attempts - 1 sets)"
+            ),
+            aliases=(f"icr-ring{n}", f"ring-{n}"),
+        )
+        for n in (1, 2, 3)
+    ]
+    for info in base + icr + extras + rings:
         register(SchemeEntry(info=info, build=_icr_factory(info.name)))
 
 

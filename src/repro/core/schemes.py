@@ -29,6 +29,7 @@ from repro.core.config import (
     VictimPolicy,
     variant,
 )
+from repro.core.placement import PlacementSpec
 
 #: Scheme names in the order the paper's Figure 9 presents them.
 ALL_SCHEMES: tuple[str, ...] = (
@@ -75,12 +76,22 @@ def make_config(
     replicate_into_invalid: bool = False,
     replacement: str = "lru",
     track_data: bool = False,
+    placement: Optional[str] = None,
+    replication_factor: int = 1,
+    virtual_nodes: int = 8,
+    ring_attempts: int = 4,
+    ring_hash: str = "mix",
+    silent_store_fraction: float = 0.4,
 ) -> ICRConfig:
     """Build the :class:`ICRConfig` for a named scheme.
 
     The keyword knobs cover the parameters the paper varies around the
     named schemes: dead-block aggressiveness, victim policy, attempt list,
-    replica count, and the Section 5.6 leave-in-place mode.
+    replica count, and the Section 5.6 leave-in-place mode — plus the
+    placement-layer knobs (``placement`` selects ``"ring"``/``"power2"``
+    over the default distance walk, parameterized by
+    ``replication_factor``/``virtual_nodes``/``ring_attempts``/
+    ``ring_hash``) and the ``BaseECC-SW`` silent-store rate.
     """
     canonical = normalize_scheme_name(name)
     if registry.scheme_info(canonical).kind == "baseline":
@@ -88,6 +99,20 @@ def make_config(
             f"{canonical!r} is a baseline model, not an ICR-family scheme; "
             "build it with repro.core.registry.build_dl1"
         )
+    if placement in (None, "distance"):
+        placement_spec = None
+    elif placement == "ring":
+        placement_spec = PlacementSpec(
+            kind="ring",
+            replication_factor=replication_factor,
+            virtual_nodes=virtual_nodes,
+            attempts=ring_attempts,
+            hash_mode=ring_hash,
+        )
+    elif placement == "power2":
+        placement_spec = PlacementSpec(kind="power2", attempts=ring_attempts)
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
     base = ICRConfig(
         name=canonical,
         geometry=geometry or CacheGeometry(16 * 1024, 4, 64),
@@ -100,6 +125,8 @@ def make_config(
         replicate_into_invalid=replicate_into_invalid,
         replacement=replacement,
         track_data=track_data,
+        placement=placement_spec,
+        silent_store_fraction=silent_store_fraction,
     )
     if canonical == "BaseP":
         return variant(
@@ -141,6 +168,35 @@ def make_config(
             second_replica_distances=(),
             leave_replicas_on_evict=False,
         )
+    if canonical == "BaseECC-SW":
+        return variant(
+            base,
+            name="BaseECC-SW",
+            trigger=ReplicationTrigger.NONE,
+            protection_unreplicated=ProtectionKind.ECC,
+            silent_store_suppression=True,
+            max_replicas=1,
+            second_replica_distances=(),
+            leave_replicas_on_evict=False,
+        )
+    if canonical.startswith("ICR-Ring-"):
+        # The name's replication factor wins; the remaining ring knobs
+        # come from the keyword arguments.
+        factor = int(canonical[len("ICR-Ring-"):])
+        return variant(
+            base,
+            name=canonical,
+            trigger=ReplicationTrigger.STORES,
+            lookup=LookupMode.SERIAL,
+            protection_unreplicated=ProtectionKind.PARITY,
+            placement=PlacementSpec(
+                kind="ring",
+                replication_factor=factor,
+                virtual_nodes=virtual_nodes,
+                attempts=ring_attempts,
+                hash_mode=ring_hash,
+            ),
+        )
     # ICR-<prot>-<lookup>(<trigger>)
     try:
         body, trigger_part = canonical.split("(")
@@ -154,7 +210,9 @@ def make_config(
             protection_unreplicated=_PROTECTIONS[prot_key],
         )
     except (ValueError, KeyError) as exc:
-        raise ValueError(f"unknown scheme name {name!r}") from exc
+        raise registry.UnknownSchemeError(
+            f"scheme {name!r} is not an ICR-family config scheme"
+        ) from exc
 
 
 def make_cache(name: str, **kwargs):

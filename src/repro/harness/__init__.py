@@ -46,7 +46,13 @@ from repro.harness.spec import (
     MachineConfig,
 )
 from repro.harness.stats import BootstrapCI, bootstrap_ci
-from repro.harness.sweeps import SweepResult, decay_window_sweep, scheme_sweep, sweep
+from repro.harness.sweeps import (
+    SweepResult,
+    decay_window_sweep,
+    replication_factor_sweep,
+    scheme_sweep,
+    sweep,
+)
 
 __all__ = [
     "DEFAULT_INSTRUCTIONS",
@@ -76,6 +82,7 @@ __all__ = [
     "relative",
     "SweepResult",
     "decay_window_sweep",
+    "replication_factor_sweep",
     "scheme_sweep",
     "sweep",
     "Job",

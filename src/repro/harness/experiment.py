@@ -26,7 +26,7 @@ from repro.cache.hierarchy import MemoryHierarchy
 from repro.core import array_kernel
 from repro.core.config import ICRConfig
 from repro.core.icr_cache import ICRCache
-from repro.core.registry import build_dl1, scheme_info
+from repro.core.registry import UnknownSchemeError, build_dl1, scheme_info
 from repro.core.schemes import make_config
 from repro.cpu.branch import PredictorStats
 from repro.cpu.pipeline import OutOfOrderPipeline, PipelineResult
@@ -233,9 +233,15 @@ def _run_spec(spec: ExperimentSpec) -> SimulationResult:
             # kernel without building the object cache.
             try:
                 config = make_config(spec.scheme, **scheme_kwargs)
+                dl1 = None
             except TypeError as exc:
                 raise TypeError(f"scheme {spec.scheme!r}: {exc}") from None
-            dl1 = None
+            except UnknownSchemeError:
+                # Registered (the spec resolved the name) but not an
+                # ICR-family config scheme: an external entry-point
+                # scheme.  Drive its model generically, like a baseline.
+                dl1 = build_dl1(spec.scheme, **scheme_kwargs)
+                config = dl1.config
 
     if dl1 is None:
         # Backend dispatch for the ICR family.  "array" is a pure

@@ -1095,6 +1095,58 @@ def ablation_power2(
     return result
 
 
+def comparison_placement(
+    n: int = DEFAULT_INSTRUCTIONS, benchmark: str = "gzip"
+) -> FigureResult:
+    """Placement policies beyond the paper: the Distance-N/2 walk vs
+    power-2 multi-attempt vs consistent-hash-ring placement with
+    replication factor N ∈ {1, 2, 3}."""
+    result = FigureResult(
+        "Comparison C4",
+        f"Replica placement policies ({benchmark})",
+        "ring placement matches the distance walk's ability at N=1 and "
+        "buys extra replicas (deeper error coverage) at N>=2 at the "
+        "cost of more displaced dead lines",
+        [
+            "placement",
+            "replication_ability",
+            "replicas_per_success",
+            "loads_with_replica",
+            "miss_rate",
+        ],
+    )
+    runs = [
+        ("distance-N/2", "ICR-P-PS(S)", {}),
+        (
+            "power2(4)",
+            "ICR-P-PS(S)",
+            {"placement": "power2", "ring_attempts": 4},
+        ),
+    ] + [
+        (
+            f"ring-N{k}",
+            f"ICR-Ring-{k}",
+            {},
+        )
+        for k in (1, 2, 3)
+    ]
+    for label, scheme, extra in runs:
+        r = _run(benchmark, scheme, n, **extra, **AGGRESSIVE)
+        d = r.dl1
+        successes = d["replication_successes"]
+        placed = successes + d["second_replica_successes"]
+        result.rows.append(
+            [
+                label,
+                r.replication_ability,
+                placed / successes if successes else 0.0,
+                r.loads_with_replica,
+                r.miss_rate,
+            ]
+        )
+    return result
+
+
 def ablation_error_models(n: int = 60_000, benchmark: str = "vortex") -> FigureResult:
     """All four Kim & Somani models (Section 5.5: 'the overall results
     are similar, we present ... random')."""
@@ -1131,6 +1183,7 @@ ALL_FIGURES.update(
     {
         "ablation_write_buffer": ablation_write_buffer,
         "ablation_power2": ablation_power2,
+        "comparison_placement": comparison_placement,
         "ablation_error_models": ablation_error_models,
     }
 )

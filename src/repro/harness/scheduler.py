@@ -188,6 +188,8 @@ class StealingCampaignEngine(CampaignEngine):
         self.discarded_results = 0
         self.records_adopted = 0
         self.helper_submits = 0
+        self.helper_completed = 0
+        self.helper_warmed = 0
         self.lease_takeovers = 0
         #: Ordered trace of ("submit", cell_id, index, attempt, kind)
         #: and ("cell-done", cell_id) events — the zero-trials-after-
@@ -422,6 +424,11 @@ class StealingCampaignEngine(CampaignEngine):
             mode = self.config.trial_mode(cell)
             self._latency.setdefault(mode, []).append(elapsed)
         if kind == "helper":
+            self.helper_completed += 1
+            if not handle.cached and not isinstance(handle.result, RunnerError):
+                # A genuinely fresh simulation now sits in the shared
+                # result cache for the owning engine to hit.
+                self.helper_warmed += 1
             try:
                 cs.helpers.remove(handle)
             except ValueError:
@@ -672,6 +679,13 @@ class StealingCampaignEngine(CampaignEngine):
                 "discarded_results": self.discarded_results,
                 "records_adopted": self.records_adopted,
                 "helper_trials": self.helper_submits,
+                "helper_completed": self.helper_completed,
+                "helper_warmed": self.helper_warmed,
+                "helper_warm_rate": (
+                    self.helper_warmed / self.helper_submits
+                    if self.helper_submits
+                    else 0.0
+                ),
                 "lease_takeovers": self.lease_takeovers,
                 "backend_latency": {
                     mode: _latency_summary(vals)

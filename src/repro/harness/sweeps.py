@@ -106,6 +106,36 @@ def decay_window_sweep(
     return sweep("decay_window", points, benchmarks, scheme, **kwargs)
 
 
+def replication_factor_sweep(
+    benchmarks: Sequence[str],
+    factors: Sequence[int] = (1, 2, 3),
+    scheme: str = "ICR-P-PS(S)",
+    *,
+    virtual_nodes: int = 8,
+    ring_attempts: int = 4,
+    **kwargs,
+) -> SweepResult:
+    """Hash-ring placement: sweep the replication factor N.
+
+    Runs *scheme* with ``placement="ring"`` at each factor (the
+    ring-placement analogue of the paper's distance ablation); pair it
+    with the plain scheme run to compare against the Distance-N/2 walk.
+    """
+    points = [
+        (
+            str(n),
+            {
+                "placement": "ring",
+                "replication_factor": n,
+                "virtual_nodes": virtual_nodes,
+                "ring_attempts": ring_attempts,
+            },
+        )
+        for n in factors
+    ]
+    return sweep("replication_factor", points, benchmarks, scheme, **kwargs)
+
+
 def scheme_sweep(
     benchmarks: Sequence[str],
     schemes: Sequence[str],

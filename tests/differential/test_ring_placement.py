@@ -1,0 +1,72 @@
+"""Knobbed ring-placement specs: object and array backends agree.
+
+The scheme matrix (test_equivalence_matrix) already covers ICR-Ring-N at
+the registry defaults; this file pins the *knobbed* configurations — a
+non-default virtual-node count, attempt budget, and hash mode — plus the
+ring variant of the generic ICR scheme, so the per-slot candidate tables
+built by the two kernels are compared off the defaults too.
+"""
+
+import pytest
+
+from repro.core.array_kernel import backend_mode
+from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
+
+N = 12_000
+
+RING_SPECS = [
+    # (scheme, scheme_kwargs): non-default ring shapes.
+    ("ICR-Ring-2", {"virtual_nodes": 4, "ring_attempts": 3}),
+    ("ICR-Ring-3", {"virtual_nodes": 2, "ring_attempts": 5}),
+    ("ICR-Ring-1", {"virtual_nodes": 1, "ring_hash": "identity"}),
+    # The generic scheme routed onto the ring via the placement knob.
+    (
+        "ICR-P-PS(S)",
+        {"placement": "ring", "replication_factor": 2, "virtual_nodes": 6},
+    ),
+    # And onto the multi-attempt power-of-two walk.
+    ("ICR-P-PS(S)", {"placement": "power2", "ring_attempts": 3}),
+]
+
+
+@pytest.mark.parametrize("scheme,knobs", RING_SPECS)
+@pytest.mark.parametrize("bench,trace_seed", [("gzip", 0), ("mcf", 11)])
+def test_ring_spec_bit_identical(scheme, knobs, bench, trace_seed):
+    spec_obj = ExperimentSpec.from_kwargs(
+        bench,
+        scheme,
+        n_instructions=N,
+        trace_seed=trace_seed,
+        backend="object",
+        **knobs,
+    )
+    spec_arr = spec_obj.replace(backend="array")
+    reference = run_experiment(spec_obj).to_dict()
+    candidate = run_experiment(spec_arr).to_dict()
+    assert candidate == reference, (
+        f"{scheme} {knobs} on {bench} diverges under the "
+        f"{backend_mode(spec_arr)} tier"
+    )
+
+
+def test_ring_scheme_takes_batched_tier():
+    """Ring schemes stay eligible for the two-phase batched engine."""
+    spec = ExperimentSpec("gzip", "ICR-Ring-2", backend="array")
+    assert backend_mode(spec) == "array-batched"
+
+
+def test_silent_ecc_bit_identical():
+    """The silent-write-aware base scheme agrees across kernels."""
+    spec_obj = ExperimentSpec.from_kwargs(
+        "vpr",
+        "BaseECC-SW",
+        n_instructions=N,
+        trace_seed=3,
+        backend="object",
+        silent_store_fraction=0.25,
+    )
+    spec_arr = spec_obj.replace(backend="array")
+    assert run_experiment(spec_arr).to_dict() == run_experiment(
+        spec_obj
+    ).to_dict()

@@ -1,0 +1,144 @@
+"""repro.api.check_scheme: the conformance gate for external schemes.
+
+A third-party scheme package runs ``check_scheme`` in its own test suite
+before calling ``register``; these tests pin what the checker accepts
+(every built-in model, plus a from-scratch minimal model written against
+nothing but the public protocol) and what it reports (each protocol
+break named in plain text, never an exception).
+"""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.api import check_scheme
+from repro.cache.set_assoc import CacheGeometry
+from repro.core.protocol import DL1Outcome
+from repro.core.registry import registered_schemes, scheme_entry
+
+
+# -- a minimal third-party-style model (public surface only) -----------
+
+
+@dataclass
+class _TinyStats:
+    """The least a stats object must do: snapshot() -> mapping."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    def snapshot(self) -> dict:
+        return {"accesses": self.accesses, "hits": self.hits}
+
+
+@dataclass
+class _TinyConfig:
+    name: str = "tiny-direct-mapped"
+    geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(4 * 1024, 1, 32)
+    )
+    track_data: bool = False
+
+
+class TinyDirectMapped:
+    """A direct-mapped dL1 with no replication — the protocol floor."""
+
+    def __init__(self, **_kwargs):
+        self.config = _TinyConfig()
+        self.geometry = self.config.geometry
+        self.stats = _TinyStats()
+        self.write_policy = "writeback"
+        self._tags: dict[int, int] = {}
+        self._evict_hook = None
+        # InjectionTarget slots (never consulted by this toy model).
+        self.injector = None
+        self.monitor = None
+        self.scrubber = None
+
+    def access(self, addr: int, is_write: bool, now: int) -> DL1Outcome:
+        self.stats.accesses += 1
+        block = addr >> 5
+        index = block % self.geometry.n_sets
+        hit = self._tags.get(index) == block
+        if hit:
+            self.stats.hits += 1
+            return DL1Outcome(hit=True, latency=1)
+        self._tags[index] = block
+        return DL1Outcome(hit=False, latency=None)
+
+    def set_evict_hook(self, hook) -> None:
+        self._evict_hook = hook
+
+
+class TestPassing:
+    def test_minimal_third_party_model_passes(self):
+        assert check_scheme(TinyDirectMapped) == []
+
+    def test_prebuilt_instance_accepted(self):
+        assert check_scheme(TinyDirectMapped()) == []
+
+    @pytest.mark.parametrize("name", registered_schemes())
+    def test_every_builtin_scheme_passes(self, name):
+        assert check_scheme(scheme_entry(name).build) == []
+
+
+class TestViolationsReported:
+    def test_broken_factory_reported_not_raised(self):
+        def exploding(**_kw):
+            raise RuntimeError("boom")
+
+        problems = check_scheme(exploding)
+        assert len(problems) == 1
+        assert "building the model failed" in problems[0]
+
+    def test_not_a_dl1_at_all(self):
+        problems = check_scheme(object())
+        assert any("DataL1 protocol" in p for p in problems)
+
+    def test_bad_write_policy_named(self):
+        model = TinyDirectMapped()
+        model.write_policy = "writearound"
+        assert any("write_policy" in p for p in problems_of(model))
+
+    def test_empty_name_named(self):
+        model = TinyDirectMapped()
+        model.config.name = ""
+        assert any("config.name" in p for p in problems_of(model))
+
+    def test_wrong_outcome_shape_caught_behaviourally(self):
+        model = TinyDirectMapped()
+        model.access = lambda addr, is_write, now: "hit"
+        assert any("bool 'hit'" in p for p in problems_of(model))
+
+    def test_raising_access_caught(self):
+        model = TinyDirectMapped()
+
+        def bad_access(addr, is_write, now):
+            raise ZeroDivisionError
+
+        model.access = bad_access
+        assert any("access() raised" in p for p in problems_of(model))
+
+    def test_stats_without_snapshot_named(self):
+        model = TinyDirectMapped()
+        model.stats = object()
+        assert any("snapshot" in p for p in problems_of(model))
+
+    def test_bad_injection_target_named(self):
+        model = TinyDirectMapped()
+        model.injection_target = object()
+        assert any("injection_target" in p for p in problems_of(model))
+
+
+def problems_of(model) -> list:
+    problems = check_scheme(model)
+    assert problems, "expected at least one violation"
+    return problems
+
+
+class TestPublicSurface:
+    def test_exported_from_repro_api(self):
+        import repro.api
+
+        assert repro.api.check_scheme is check_scheme
+        assert "check_scheme" in repro.api.__all__

@@ -1,0 +1,311 @@
+"""The pluggable replica-placement layer (repro.core.placement).
+
+Covers the policy objects themselves (spec validation, ring windows,
+distance resolution), the paper-pin equivalence — an identity-hash ring
+with N=1 places replicas exactly where the paper's distance walk does —
+and the end-to-end plumbing: scheme knobs, CLI, campaign, sweep, and the
+HTTP service all accept ring placement.
+"""
+
+import pytest
+
+from repro.core.config import ICRConfig, ReplicationTrigger
+from repro.core.placement import (
+    DistanceWalk,
+    HashRing,
+    PlacementSpec,
+    PowerOfTwoMultiAttempt,
+    build_placement,
+    mix64,
+)
+from repro.core.schemes import make_cache, make_config
+from repro.harness.experiment import run_experiment
+from repro.harness.spec import ExperimentSpec
+
+
+class TestPlacementSpec:
+    def test_defaults_are_the_distance_walk(self):
+        spec = PlacementSpec()
+        assert spec.kind == "distance"
+        assert spec.replication_factor == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "nope"},
+            {"replication_factor": 0},
+            {"virtual_nodes": 0},
+            {"attempts": 0},
+            {"hash_mode": "sha"},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PlacementSpec(**kwargs)
+
+    def test_base_schemes_reject_placement(self):
+        with pytest.raises(ValueError, match="base schemes"):
+            ICRConfig(
+                name="bad",
+                trigger=ReplicationTrigger.NONE,
+                placement=PlacementSpec(kind="ring"),
+            )
+        with pytest.raises(ValueError):
+            make_config("BaseP", placement="ring")
+
+
+class TestDistanceWalk:
+    def test_built_when_placement_is_none(self):
+        config = make_config("ICR-P-PS(S)")
+        policy = build_placement(config)
+        assert isinstance(policy, DistanceWalk)
+        assert policy.home_pure
+        assert policy.distances == config.resolved_distances()
+
+    def test_power2_is_the_section_55_sequence(self):
+        policy = build_placement(
+            make_config("ICR-P-PS(S)", placement="power2", ring_attempts=4)
+        )
+        assert isinstance(policy, PowerOfTwoMultiAttempt)
+        n = make_config("ICR-P-PS(S)").geometry.n_sets
+        assert policy.distances[0] == n // 2
+        assert len(policy.distances) == 4
+
+
+class TestHashRing:
+    def test_window_excludes_home_and_has_no_duplicates(self):
+        ring = HashRing(64, replication_factor=3, virtual_nodes=8)
+        for addr in range(0, 64 * 64, 7):
+            window, pos_map, walks = ring.lookup(addr)
+            home = addr & 63
+            assert home not in window
+            assert len(set(window)) == len(window) == ring.window_len
+            assert pos_map == {s: i for i, s in enumerate(window)}
+
+    def test_replica_walks_slide_over_the_window(self):
+        ring = HashRing(64, replication_factor=3, attempts=4)
+        window, _, walks = ring.lookup(12345)
+        assert len(walks) == 3
+        for i, walk in enumerate(walks):
+            assert walk == window[i : i + 4]
+
+    def test_preferred_sets_disjoint_across_replicas(self):
+        ring = HashRing(64, replication_factor=3, attempts=4)
+        _, _, walks = ring.lookup(999)
+        preferred = [w[0] for w in walks]
+        assert len(set(preferred)) == 3
+
+    def test_lookup_is_memoized(self):
+        ring = HashRing(64)
+        assert ring.lookup(42) is ring.lookup(42)
+
+    def test_identity_mode_is_the_successor_walk(self):
+        ring = HashRing(
+            64, replication_factor=1, virtual_nodes=1,
+            attempts=3, hash_mode="identity",
+        )
+        for addr in (0, 5, 63, 64 + 7):
+            home = addr & 63
+            window, _, walks = ring.lookup(addr)
+            assert window == tuple((home + d) % 64 for d in (1, 2, 3))
+            assert walks == (window,)
+
+    def test_consistent_hashing_property(self):
+        """Doubling the sets moves only a fraction of first choices."""
+        small = HashRing(64, virtual_nodes=8)
+        large = HashRing(128, virtual_nodes=8)
+        addrs = range(0, 200_000, 37)
+        moved = sum(
+            1
+            for a in addrs
+            if small.lookup(a)[0][0] != large.lookup(a)[0][0]
+        )
+        total = len(list(addrs))
+        # A full rehash would move ~63/64 of lines (≈98%); the ring must
+        # do structurally better.  (The home-set exclusion and the set
+        # index changing with n_sets add churn beyond the ideal 1/2.)
+        assert moved / total < 0.9
+
+    def test_mix64_is_deterministic_and_64bit(self):
+        assert mix64(0x1234) == mix64(0x1234)
+        assert 0 <= mix64(2**80) < 2**64
+        assert mix64(1) != mix64(2)
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            HashRing(1)
+
+
+class TestPaperPin:
+    """ICR-Ring-1 in identity mode IS the paper's distance walk."""
+
+    @pytest.mark.parametrize("attempts", [1, 3])
+    def test_ring_n1_identity_equals_distance_walk(self, attempts):
+        distances = tuple(range(1, attempts + 1))
+        ring_spec = ExperimentSpec.from_kwargs(
+            "gzip",
+            "ICR-Ring-1",
+            n_instructions=10_000,
+            virtual_nodes=1,
+            ring_hash="identity",
+            ring_attempts=attempts,
+        )
+        walk_spec = ExperimentSpec.from_kwargs(
+            "gzip",
+            "ICR-P-PS(S)",
+            n_instructions=10_000,
+            replica_distances=distances,
+        )
+        ring = run_experiment(ring_spec).to_dict()
+        walk = run_experiment(walk_spec).to_dict()
+        # Identical placement ⇒ identical everything but the label.
+        assert ring.pop("scheme") == "ICR-Ring-1"
+        assert walk.pop("scheme") == "ICR-P-PS(S)"
+        assert ring == walk
+
+
+class TestRingEndToEnd:
+    def test_ring_scheme_runs_and_replicates(self):
+        result = run_experiment(
+            ExperimentSpec("gzip", "ICR-Ring-2", n_instructions=10_000)
+        )
+        assert result.dl1["replication_successes"] > 0
+        # Factor 2: the extra replicas land in the second-replica counters.
+        assert result.dl1["second_replica_attempts"] > 0
+        assert result.loads_with_replica > 0
+
+    def test_factor_scales_replicas_placed(self):
+        def dl1(scheme):
+            spec = ExperimentSpec(
+                "gzip",
+                scheme,
+                n_instructions=10_000,
+                scheme_kwargs=(("decay_window", 0),),
+            )
+            return run_experiment(spec).dl1
+
+        one, three = dl1("ICR-Ring-1"), dl1("ICR-Ring-3")
+        # N=1 never attempts extra replicas; N=3 attempts two per line.
+        assert one["second_replica_attempts"] == 0
+        assert three["second_replica_attempts"] > three["replication_attempts"]
+        assert three["second_replica_successes"] > 0
+
+    def test_knobs_change_the_cache_key(self):
+        base = ExperimentSpec.from_kwargs("gzip", "ICR-Ring-2")
+        knobbed = ExperimentSpec.from_kwargs(
+            "gzip", "ICR-Ring-2", virtual_nodes=2
+        )
+        assert base.key() != knobbed.key()
+
+    def test_cli_run_accepts_placement_flags(self, capsys, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(
+            [
+                "run", "gzip", "ICR-P-PS(S)",
+                "--instructions", "5000",
+                "--placement", "ring",
+                "--replication-factor", "2",
+                "--virtual-nodes", "4",
+                "--ring-attempts", "3",
+            ]
+        )
+        assert code == 0
+        assert "loads w/ replica" in capsys.readouterr().out
+
+    def test_campaign_runs_ring_scheme(self, tmp_path, monkeypatch):
+        from repro.harness.campaign import CampaignConfig, run_campaign
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = run_campaign(
+            CampaignConfig(
+                benchmarks=("gzip",),
+                schemes=("ICR-Ring-2",),
+                trials=3,
+                min_trials=3,
+                n_instructions=8_000,
+            )
+        )
+        (outcome,) = report.outcomes
+        assert outcome.cell.scheme == "ICR-Ring-2"
+        assert len(outcome.ok_records()) == 3
+
+    def test_service_runs_ring_spec(self, tmp_path, monkeypatch):
+        from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        spec = ExperimentSpec.from_kwargs(
+            "gzip", "ICR-Ring-2", n_instructions=5000, virtual_nodes=4
+        )
+        config = ServiceConfig(
+            port=0, workers=1, queue_dir=tmp_path / "queue"
+        )
+        with ServiceThread(config) as st:
+            served = ServiceClient(port=st.port).run(spec, timeout=120)
+        assert served.to_dict() == run_experiment(spec).to_dict()
+
+    def test_replication_factor_sweep(self, tmp_path, monkeypatch):
+        from repro.harness.sweeps import replication_factor_sweep
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        result = replication_factor_sweep(
+            ["gzip"], factors=(1, 2), n_instructions=6_000
+        )
+        assert set(result.results) == {("gzip", "1"), ("gzip", "2")}
+        for r in result.results.values():
+            assert r.dl1["replication_attempts"] > 0
+
+
+class TestSilentStoreSuppression:
+    def test_rate_tracks_the_configured_fraction(self):
+        cache = make_cache("BaseECC-SW", silent_store_fraction=0.5)
+        for now in range(4000):
+            cache.access(0, True, now)  # same line: all store hits
+        stats = cache.stats
+        assert stats.silent_stores > 0
+        rate = stats.silent_stores / stats.store_hits
+        assert 0.40 < rate < 0.60
+
+    def test_silent_hits_skip_the_ecc_write(self):
+        noisy = run_experiment(
+            ExperimentSpec("gzip", "BaseECC", n_instructions=10_000)
+        )
+        silent = run_experiment(
+            ExperimentSpec("gzip", "BaseECC-SW", n_instructions=10_000)
+        )
+        assert silent.dl1["silent_stores"] > 0
+        assert noisy.dl1["silent_stores"] == 0
+        # Every silent store saves an array write + ECC generate and
+        # leaves clean lines clean (fewer writebacks).
+        assert silent.dl1["array_writes"] < noisy.dl1["array_writes"]
+        assert silent.dl1["ecc_generates"] < noisy.dl1["ecc_generates"]
+        assert silent.dl1["writebacks"] <= noisy.dl1["writebacks"]
+
+    def test_fraction_zero_is_plain_baseecc_traffic(self):
+        base = run_experiment(
+            ExperimentSpec("gzip", "BaseECC", n_instructions=8_000)
+        ).to_dict()
+        off = run_experiment(
+            ExperimentSpec.from_kwargs(
+                "gzip",
+                "BaseECC-SW",
+                n_instructions=8_000,
+                silent_store_fraction=0.0,
+            )
+        ).to_dict()
+        assert base.pop("scheme") == "BaseECC"
+        assert off.pop("scheme") == "BaseECC-SW"
+        assert base == off
+
+    def test_suppression_needs_a_non_replicating_scheme(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                make_config("ICR-P-PS(S)"), silent_store_suppression=True
+            )
+
+    def test_fraction_must_be_a_probability(self):
+        with pytest.raises(ValueError):
+            make_config("BaseECC-SW", silent_store_fraction=1.5)

@@ -46,6 +46,7 @@ _TINY_KWARGS = {
     "comparison_rcache": dict(n=TINY, benchmarks=ONE_BENCH),
     "comparison_victim_cache": dict(n=TINY, benchmarks=ONE_BENCH),
     "comparison_area": dict(),
+    "comparison_placement": dict(n=TINY),
 }
 
 

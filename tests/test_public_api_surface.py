@@ -42,6 +42,7 @@ PINNED_ALL = [
     "SchemeEntry",
     "SchemeInfo",
     "UnknownSchemeError",
+    "check_scheme",
     "get_scheme",
     "list_schemes",
     "register_scheme",
