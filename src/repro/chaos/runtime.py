@@ -1,0 +1,209 @@
+"""Process-wide chaos runtime: plan activation, hooks, exactly-once firing.
+
+The production code paths (runner, cache, campaign) call the tiny hook
+functions in this module at their fault sites.  With no plan installed
+every hook is a near-free no-op — one global ``is None`` check — so the
+chaos layer costs nothing outside chaos runs.
+
+Two mechanisms make the injected faults deterministic across an
+arbitrary process tree:
+
+* **Env-var transport.**  :func:`install` publishes the plan (JSON) and
+  the scratch directory through ``REPRO_CHAOS_PLAN`` /
+  ``REPRO_CHAOS_SCRATCH``; :func:`active` lazily re-reads them, so pool
+  workers — whether forked or spawned — observe the same plan as the
+  parent without any plumbing through the runner API.
+* **Marker files.**  Each scheduled fault fires *exactly once per run*,
+  claimed by an ``O_CREAT | O_EXCL`` marker file in the scratch
+  directory keyed by ``(kind, site)``.  This is the crux of the
+  byte-identical-report contract: the runner retries a crashed trial
+  with the *same* spec, so the retry must sail through where the first
+  attempt died — a per-process counter would fault again on the retry,
+  escalate to the campaign's fresh-seed retry, and change the report.
+  The filesystem marker is shared by every process, so the retry (in
+  the parent, or in a rebuilt pool) finds the fault already spent.
+
+Only the standard library is imported here (plus the plain-data plan),
+so the runner, cache and campaign can import this module without any
+circularity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.chaos.plan import FAULT_KINDS, FaultPlan
+
+#: Environment transport (read by every process of the run).
+ENV_PLAN = "REPRO_CHAOS_PLAN"
+ENV_SCRATCH = "REPRO_CHAOS_SCRATCH"
+
+#: Process-local cache of the installed plan: unset / (plan, scratch) /
+#: (None, None) when the env says chaos is off.
+_STATE: list = []
+
+
+class ChaosWorkerDeath(RuntimeError):
+    """An injected worker death (the in-process flavor of SIGKILL)."""
+
+
+def install(plan: FaultPlan, scratch_dir) -> None:
+    """Activate *plan* for this process and everything it spawns.
+
+    *scratch_dir* holds the exactly-once marker files; point every
+    participating process of one chaos run at the same directory.
+    """
+    scratch = Path(scratch_dir)
+    scratch.mkdir(parents=True, exist_ok=True)
+    os.environ[ENV_PLAN] = plan.to_json()
+    os.environ[ENV_SCRATCH] = str(scratch)
+    _STATE.clear()
+    _STATE.append((plan, scratch))
+
+
+def uninstall() -> None:
+    """Deactivate chaos for this process and future children."""
+    os.environ.pop(ENV_PLAN, None)
+    os.environ.pop(ENV_SCRATCH, None)
+    _STATE.clear()
+    _STATE.append((None, None))
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or None; lazily adopted from the environment."""
+    if not _STATE:
+        text = os.environ.get(ENV_PLAN)
+        if not text:
+            _STATE.append((None, None))
+        else:
+            try:
+                plan = FaultPlan.from_json(text)
+            except (ValueError, TypeError):
+                _STATE.append((None, None))
+            else:
+                scratch = Path(
+                    os.environ.get(ENV_SCRATCH)
+                    or Path(tempfile.gettempdir()) / "repro-chaos"
+                )
+                _STATE.append((plan, scratch))
+    return _STATE[0][0]
+
+
+def _scratch() -> Path:
+    active()
+    return _STATE[0][1]
+
+
+def _claim(kind: str, key: str) -> bool:
+    """Claim the one firing of (kind, key); True for the first claimer.
+
+    The marker is a zero-byte ``O_EXCL`` file shared by all processes
+    of the run — at most one attempt anywhere ever sees True, so a
+    retry of the same site passes clean.
+    """
+    digest = hashlib.blake2b(key.encode(), digest_size=12).hexdigest()
+    path = _scratch() / f"{kind}.{digest}"
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    except OSError:
+        return True  # unwritable scratch: fire anyway, dedup is best-effort
+    os.close(fd)
+    return True
+
+
+def _fire(kind: str, key: str) -> bool:
+    """Decide + claim in one step (the shape every hook uses)."""
+    plan = active()
+    if plan is None or not plan.decide(kind, key):
+        return False
+    return _claim(kind, key)
+
+
+def fired() -> dict[str, int]:
+    """How many faults of each kind have fired so far (marker census)."""
+    counts = dict.fromkeys(FAULT_KINDS, 0)
+    plan = active()
+    if plan is None:
+        return counts
+    try:
+        names = os.listdir(_scratch())
+    except OSError:
+        return counts
+    for name in names:
+        kind = name.split(".", 1)[0]
+        if kind in counts:
+            counts[kind] += 1
+    return counts
+
+
+# -- hooks (called from the production fault sites) -----------------------
+
+
+def check_trial(key: str) -> Optional[str]:
+    """The fault scheduled for this trial execution: "kill", "timeout"
+    or None.  Kill wins when both are scheduled (it is the harsher
+    failure)."""
+    if active() is None:
+        return None
+    if _fire("kill", key):
+        return "kill"
+    if _fire("timeout", key):
+        return "timeout"
+    return None
+
+
+def damage_cache_entry(key: str, path) -> bool:
+    """Corrupt or truncate the just-written cache entry at *path*.
+
+    Models a torn write / bit rot landing between a store and the next
+    read; the reader's quarantine-and-recompute path is what the chaos
+    suite is really testing.  Returns True when damage was done.
+    """
+    if active() is None:
+        return False
+    path = Path(path)
+    try:
+        if _fire("truncate", key):
+            path.write_text("")
+            return True
+        if _fire("corrupt", key):
+            data = path.read_bytes()
+            path.write_bytes(b"\x00garbage\x00" + data[: len(data) // 2])
+            return True
+    except OSError:
+        return False
+    return False
+
+
+def check_disk_full(site: str, key: str) -> None:
+    """Raise ``ENOSPC`` once for this persistence write, if scheduled.
+
+    Call *inside* the caller's existing OSError-degradation block — the
+    injected error must travel the same path a real full disk would.
+    """
+    if active() is None:
+        return
+    if _fire("disk_full", f"{site}\x00{key}"):
+        raise OSError(28, "No space left on device (chaos)")
+
+
+def tear_checkpoint(key: str) -> bool:
+    """Whether this checkpoint write should be persisted half-written."""
+    if active() is None:
+        return False
+    return _fire("torn_checkpoint", key)
+
+
+def summary() -> Optional[dict]:
+    """Plan + firing census (scenario reports); None when inactive."""
+    plan = active()
+    if plan is None:
+        return None
+    return {"plan": json.loads(plan.to_json()), "fired": fired()}

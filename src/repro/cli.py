@@ -31,6 +31,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import recovery
 from repro.core.config import VictimPolicy
 from repro.core.registry import (
     normalize_scheme_name,
@@ -97,6 +98,9 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
 
 def _report_metrics(runner: ParallelRunner) -> None:
     print(runner.stats.summary(), file=sys.stderr)
+    recovered = recovery.summary()
+    if recovered:
+        print(recovered, file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -343,6 +347,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=600.0,
         metavar="SECONDS",
         help="how long to wait for the result (with waiting enabled)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection scenario suite "
+        "(byte-identical reports under injected failures)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-plan seed (every scenario replays deterministically)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only NAME (repeatable; default: every scenario)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    chaos.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="scenario sandbox directory (default: a fresh temp dir)",
     )
 
     status = sub.add_parser(
@@ -681,6 +713,45 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Lazy import: scenarios pulls in the whole harness + service.
+    from repro.chaos import scenarios
+
+    if args.list:
+        for name, fn in scenarios.SCENARIOS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<18} {summary}")
+        return 0
+    try:
+        if args.workdir is not None:
+            results = scenarios.run_suite(
+                args.scenario, workdir=args.workdir, seed=args.seed
+            )
+        else:
+            import tempfile
+
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+                results = scenarios.run_suite(
+                    args.scenario, workdir=tmp, seed=args.seed
+                )
+    except ValueError as exc:  # unknown --scenario name
+        print(str(exc), file=sys.stderr)
+        return 2
+    failed = [r for r in results if not r.passed]
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        print(f"[chaos] {mark}  {r.name:<18} {r.duration:6.2f}s  {r.detail}")
+    print(
+        f"[chaos] seed={args.seed}: {len(results) - len(failed)}/{len(results)} "
+        "scenarios passed",
+        file=sys.stderr,
+    )
+    recovered = recovery.summary()
+    if recovered:
+        print(recovered, file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     result = run_figure(args.figure_id, runner=runner, n=args.instructions)
@@ -708,6 +779,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_submit(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
     except BrokenPipeError:  # e.g. `repro-icr list | head`
         return 0
     raise AssertionError("unreachable")

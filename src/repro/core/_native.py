@@ -207,7 +207,17 @@ def _load():
             lib = ffi.dlopen(str(_build(_cache_dir())))
             result = (ffi, lib)
         except Exception:
-            result = None  # no cffi / no compiler / read-only cache: fall back
+            # no cffi / no compiler / read-only cache: the pure-Python
+            # loop is bit-identical, so this only costs speed.
+            from repro import recovery
+
+            recovery.count("native_fallbacks")
+            recovery.warn(
+                "native",
+                "compiled phase-2 kernel unavailable; "
+                "using the pure-Python loop",
+            )
+            result = None
     _STATE.append(result)
     return result
 

@@ -19,8 +19,9 @@ stable hash over *everything the simulation depends on*:
 Entries live under ``~/.cache/repro`` (override with ``--cache-dir`` or
 the ``REPRO_CACHE_DIR`` environment variable) as one JSON file per
 result, sharded by the first two hex digits of the key.  A corrupted or
-truncated entry is treated as a miss — it is deleted and the experiment
-recomputed, never raised to the caller.
+truncated entry is treated as a miss — it is *quarantined* (renamed to
+``<key>.corrupt`` so the damaged bytes survive for diagnosis) and the
+experiment recomputed, never raised to the caller.
 """
 
 from __future__ import annotations
@@ -32,10 +33,14 @@ import json
 import os
 import threading
 import time
+import uuid
 from collections import OrderedDict
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Optional, Union
+
+from repro import recovery
+from repro.chaos import runtime as _chaos
 
 from repro.core.config import ICRConfig
 from repro.core.registry import normalize_scheme_name
@@ -182,11 +187,13 @@ class FileLease:
       the owner's identity into it.
     * **Renew** — the holder refreshes the file's mtime on a heartbeat;
       a lease whose mtime is older than *ttl* seconds is *stale*.
-    * **Takeover** — anyone may break a stale lease: unlink it and race
-      for a fresh ``O_EXCL`` create.  At most one racer wins; the dead
-      holder's work is recoverable because all trial results live in
-      the content-addressed cache and committed records in the
-      published cell files.
+    * **Takeover** — anyone may break a stale lease: atomically
+      ``rename`` it aside (exactly one racer's rename succeeds; the
+      losers see ``FileNotFoundError`` and fall back to racing the
+      ``O_EXCL`` create), then race for a fresh create.  At most one
+      racer wins; the dead holder's work is recoverable because all
+      trial results live in the content-addressed cache and committed
+      records in the published cell files.
     * **Release** — the holder unlinks the file (only while the file
       still names it as owner, so a takeover is never clobbered).
 
@@ -238,17 +245,73 @@ class FileLease:
             except FileExistsError:
                 if not (break_stale and self.is_stale()):
                     return False
-                try:  # break it, then race for the O_EXCL create
-                    self.path.unlink()
-                except OSError:
-                    pass
+                if not self._break_stale():
+                    return False
                 continue
             except OSError:
                 return False
             with os.fdopen(fd, "w") as fh:
                 fh.write(json.dumps({"owner": self.owner, "pid": os.getpid()}))
+            # Post-create verification of the owner token.  The O_EXCL
+            # create is the authoritative claim, but verifying that the
+            # file still names us closes any future regression toward
+            # the old unlink-based breaking, where a slow racer could
+            # unlink *our* fresh lease and create its own over it.
+            if self.holder() != self.owner:
+                return False
             return True
         return False
+
+    def _break_stale(self) -> bool:
+        """Atomically retire a stale lease file; True when the caller
+        may race for the ``O_EXCL`` create.
+
+        The old protocol (``unlink`` then create) had a double-takeover
+        race: engines A and B both observe the stale lease, A unlinks
+        and creates its fresh lease, then B's queued unlink removes
+        *A's* lease and B creates its own — two holders.  Breaking via
+        ``os.rename`` to a unique graveyard name closes it: exactly one
+        racer's rename succeeds (the losers get ``FileNotFoundError``
+        and fall through to the create race, where ``O_EXCL`` arbitrates),
+        and a fresh lease can never be swept away because only the
+        *stale* file is ever moved.
+        """
+        grave = self.path.with_name(
+            f"{self.path.name}.broken.{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.rename(self.path, grave)
+        except FileNotFoundError:
+            return True  # another racer broke it first; race for the create
+        except OSError:
+            return False
+        # rename preserves mtime: confirm the file we retired really was
+        # stale.  A renew may have landed between is_stale() and the
+        # rename — in that case try to put the live lease back (link
+        # fails harmlessly if a new claim already took the slot).
+        try:
+            age = time.time() - grave.stat().st_mtime
+        except OSError:
+            age = self.ttl + 1.0
+        if age <= self.ttl:
+            try:
+                os.link(grave, self.path)
+            except OSError:
+                pass
+            try:
+                grave.unlink()
+            except OSError:
+                pass
+            return False
+        try:
+            grave.unlink()
+        except OSError:
+            pass
+        recovery.count("lease_takeovers")
+        recovery.warn(
+            "lease", f"broke stale lease {self.path.name} (holder presumed dead)"
+        )
+        return True
 
     def renew(self) -> bool:
         """Heartbeat: refresh the mtime while we still own the lease."""
@@ -304,13 +367,25 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            # Corrupted / truncated / stale-format entry: drop and recompute.
+            # Corrupted / truncated / stale-format entry: quarantine it
+            # (rename preserves the damaged bytes for diagnosis, and a
+            # non-.json suffix keeps it out of every future lookup) and
+            # recompute.  Deleting outright would work too, but losing
+            # the evidence makes "why did this cache entry rot" an
+            # unanswerable question.
             self.corrupt += 1
             self.misses += 1
             try:
-                path.unlink()
+                os.replace(path, path.with_suffix(".corrupt"))
             except OSError:
-                pass
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            recovery.count("cache_quarantined")
+            recovery.warn(
+                "cache", f"quarantined corrupt entry {path.name} (recomputing)"
+            )
             return None
         self.hits += 1
         return result
@@ -322,11 +397,17 @@ class ResultCache:
         path = self.path_for(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            _chaos.check_disk_full("cache", key)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             tmp.write_text(json.dumps(result_to_dict(result)))
             os.replace(tmp, path)
         except OSError:
-            return  # a read-only or full cache dir never fails the run
+            # A read-only or full cache dir never fails the run — the
+            # result is simply not persisted this time.
+            recovery.count("cache_write_errors")
+            recovery.warn("cache", f"dropped write for {key[:12]}… (disk error)")
+            return
+        _chaos.damage_cache_entry(key, path)
         self.stores += 1
 
 

@@ -54,6 +54,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Optional, Union
 
+from repro import recovery
+from repro.chaos import runtime as _chaos
 from repro.core.registry import normalize_scheme_name, scheme_info
 from repro.harness.report import format_table
 from repro.harness.runner import Job, ParallelRunner, RunnerError
@@ -103,6 +105,15 @@ class CampaignConfig:
     bootstrap_seed: int = 0
     seed0: int = 20_000
     max_trial_retries: int = 2
+    #: Per-cell circuit breaker: once this many *consecutive trailing*
+    #: trial indices have exhausted their retry budget and failed, the
+    #: cell is declared broken (its outcome carries a diagnostic) and
+    #: stops scheduling — a systematically-crashing configuration costs
+    #: one batch or two, not an endless retry grind.  Checked only at
+    #: batch-aligned committed counts, so the decision is a pure
+    #: function of the committed records (the round/stealing
+    #: byte-identity contract).  0 disables the breaker.
+    breaker_threshold: int = 5
     n_instructions: int = 40_000
     error_model: str = "random"
     measure_vulnerability: bool = False
@@ -148,6 +159,8 @@ class CampaignConfig:
             raise ValueError("batch size must be positive")
         if self.min_trials <= 1:
             raise ValueError("adaptive stopping needs min_trials >= 2")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0 (0 disables)")
 
     def cells(self) -> list[Cell]:
         """The campaign grid, in deterministic report order."""
@@ -323,6 +336,11 @@ class CellOutcome:
     cell: Cell
     records: list[TrialRecord]
     stopped_early: bool = False
+    #: Circuit-breaker diagnostic when the cell was failed after
+    #: repeated exhausted trials; None for a healthy cell.  Derived
+    #: deterministically from the records (never persisted), so a
+    #: resumed campaign re-trips the same breaker with the same text.
+    broken: Optional[str] = None
 
     def ok_records(self) -> list[TrialRecord]:
         return sorted(
@@ -361,6 +379,7 @@ class CellOutcome:
             "trials_ok": len(self.ok_records()),
             "failed_attempts": self.failed_attempts(),
             "stopped_early": self.stopped_early,
+            "broken": self.broken,
             "metrics": {},
         }
         for metric in (
@@ -515,6 +534,7 @@ class CampaignEngine:
         self.rounds_run = 0
         self.resumed = False
         self.checkpoint_writes = 0
+        self.breaker_trips = 0
         self._dirty_records = 0
         self._last_checkpoint = time.monotonic()
         if self.checkpoint_path is not None:
@@ -542,6 +562,12 @@ class CampaignEngine:
         next_index = self._next_index(outcome)
         if next_index >= self.config.trials:
             return True
+        if (
+            self.config.breaker_threshold
+            and next_index % self.config.batch_size == 0
+            and self._breaker_tripped(outcome)
+        ):
+            return True
         if self.config.target_half_width is None:
             return False
         if next_index % self.config.batch_size != 0:
@@ -554,6 +580,62 @@ class CampaignEngine:
             outcome.stopped_early = True
             return True
         return False
+
+    def _breaker_tripped(self, outcome: CellOutcome) -> bool:
+        """The per-cell circuit breaker (pure function of the records).
+
+        Trips when the trailing ``breaker_threshold`` trial indices all
+        exhausted their retry budget and failed — the signature of a
+        configuration (or environment) that crashes systematically
+        rather than sporadically.  The cell is failed with a diagnostic
+        instead of grinding through (and retrying) its whole trial
+        budget; sporadic failures interleaved with successes never
+        trip it.
+        """
+        if outcome.broken is not None:
+            return True
+        final: dict[int, TrialRecord] = {}
+        for record in outcome.records:
+            prev = final.get(record.index)
+            if prev is None or record.attempt > prev.attempt:
+                final[record.index] = record
+        if not final:
+            return False
+        streak = 0
+        last_failure: Optional[TrialRecord] = None
+        index = max(final)
+        while index >= 0:
+            record = final.get(index)
+            if (
+                record is None
+                or record.status != "failed"
+                or record.attempt < self.config.max_trial_retries
+            ):
+                break
+            last_failure = last_failure or record
+            streak += 1
+            index -= 1
+        if streak < self.config.breaker_threshold:
+            return False
+        outcome.broken = (
+            f"circuit breaker: last {streak} trials exhausted "
+            f"{1 + self.config.max_trial_retries} attempt(s) each "
+            f"(latest error: {last_failure.error or 'unknown'})"
+        )
+        self.breaker_trips += 1
+        recovery.count("breaker_trips")
+        recovery.warn(
+            "campaign",
+            f"breaker tripped for cell {outcome.cell.id}: "
+            f"{streak} consecutive exhausted trials",
+        )
+        if self.verbose:
+            print(
+                f"[campaign] cell {outcome.cell.id} failed by circuit "
+                f"breaker after {streak} consecutive exhausted trials",
+                file=self.stream,
+            )
+        return True
 
     def _batch_stop(self, start: int) -> int:
         """End of the batch containing *start* (batch-grid aligned).
@@ -692,20 +774,52 @@ class CampaignEngine:
             "cells": self._checkpoint_records(),
         }
         path = self.checkpoint_path
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _chaos.check_disk_full("checkpoint", str(path))
+            text = json.dumps(payload, sort_keys=True)
+            if _chaos.tear_checkpoint(self.digest):
+                # A writer crash persisted half the payload: the resume
+                # path's quarantine (below) must absorb it.
+                text = text[: len(text) // 2]
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except OSError:
+            # A full or read-only disk costs durability, never the run:
+            # the records stay dirty, the next cadence window retries,
+            # and the exit flush gets the last word.
+            recovery.count("checkpoint_write_errors")
+            recovery.warn(
+                "campaign", f"checkpoint write to {path} failed; continuing"
+            )
+            self._last_checkpoint = time.monotonic()
+            return
         self.checkpoint_writes += 1
         self._dirty_records = 0
         self._last_checkpoint = time.monotonic()
 
     def _load_checkpoint(self) -> bool:
-        """Adopt a matching checkpoint; ignore missing/stale/corrupt ones."""
+        """Adopt a matching checkpoint.
+
+        Missing or digest-mismatched checkpoints are ignored (fresh
+        start); a *corrupt* one — truncated JSON, malformed trial
+        records — is quarantined (renamed to ``*.corrupt``) so the
+        campaign restarts its cells cleanly instead of raising out of
+        resume.  Restarting is cheap: every previously-simulated trial
+        is a content-addressed cache hit.
+        """
         path = self.checkpoint_path
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return False  # nothing there: a fresh campaign, not a fault
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("checkpoint is not a JSON object")
+        except ValueError:
+            self._quarantine_checkpoint("unparseable JSON")
             return False
         if (
             payload.get("format") != CAMPAIGN_FORMAT
@@ -719,14 +833,23 @@ class CampaignEngine:
                 )
             return False
         by_id = {cell.id: cell for cell in self.outcomes}
+        staged: dict[Cell, list[TrialRecord]] = {}
+        try:
+            for cell_id, records in payload.get("cells", {}).items():
+                cell = by_id.get(cell_id)
+                if cell is None:
+                    continue
+                staged[cell] = [TrialRecord.from_dict(r) for r in records]
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # Structurally valid JSON whose records are garbage (a torn
+            # write that happened to cut on a token boundary, a foreign
+            # tool's file, ...).  Stage-then-commit keeps the outcomes
+            # untouched on this path.
+            self._quarantine_checkpoint("malformed trial records")
+            return False
         loaded = 0
-        for cell_id, records in payload.get("cells", {}).items():
-            cell = by_id.get(cell_id)
-            if cell is None:
-                continue
-            self.outcomes[cell].records = [
-                TrialRecord.from_dict(r) for r in records
-            ]
+        for cell, records in staged.items():
+            self.outcomes[cell].records = records
             loaded += len(records)
         self.rounds_run = payload.get("rounds", 0)
         if self.verbose and loaded:
@@ -736,15 +859,43 @@ class CampaignEngine:
             )
         return loaded > 0
 
+    def _quarantine_checkpoint(self, reason: str) -> None:
+        """Move a corrupt checkpoint aside and account for it."""
+        path = self.checkpoint_path
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        recovery.count("checkpoint_quarantined")
+        recovery.warn(
+            "campaign",
+            f"quarantined corrupt checkpoint {path} ({reason}); "
+            "restarting cells from the result cache",
+        )
+        if self.verbose:
+            print(
+                f"[campaign] quarantined corrupt checkpoint {path} ({reason})",
+                file=self.stream,
+            )
+
     def _log_trial(self, cell: Cell, record: TrialRecord, result) -> None:
         if self.trial_log_path is None:
             return
         line: dict[str, Any] = {"cell": cell.id, **record.to_dict()}
         if result is not None:
             line["result"] = result.to_dict()
-        self.trial_log_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.trial_log_path.open("a") as fh:
-            fh.write(json.dumps(line, sort_keys=True) + "\n")
+        try:
+            self.trial_log_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.trial_log_path.open("a") as fh:
+                fh.write(json.dumps(line, sort_keys=True) + "\n")
+        except OSError:
+            # The trial log is observability, not state: losing a line
+            # to a full disk must not fail the trial it describes.
+            recovery.count("trial_log_errors")
+            recovery.warn("campaign", "trial log append failed; continuing")
 
     # -- reporting --------------------------------------------------------
 
@@ -777,6 +928,7 @@ class CampaignEngine:
             "trials_committed": committed,
             "rounds": self.rounds_run,
             "checkpoint_writes": self.checkpoint_writes,
+            "breaker_trips": self.breaker_trips,
             "runner": {
                 "jobs": self.runner.stats.jobs,
                 "cache_hits": self.runner.stats.cache_hits,

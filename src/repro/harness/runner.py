@@ -24,10 +24,17 @@ import sys
 import time
 import traceback
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
+from repro import recovery
+from repro.chaos import runtime as _chaos
 from repro.core.config import ICRConfig
 from repro.harness.cache import ResultCache, UncacheableJobError, job_key
 from repro.harness.experiment import SimulationResult, _run_spec
@@ -163,8 +170,43 @@ def _frame_safe_to_raise(frame) -> bool:
     return True
 
 
-def _run_with_timeout(job: Job, timeout: Optional[float]) -> SimulationResult:
+def _inject_trial_fault(job: Job, last_attempt: bool = False) -> None:
+    """Fire the chaos fault scheduled for this trial, if any.
+
+    Sits at the top of every execution attempt — pool worker, in-parent
+    retry, in-process path — keyed by the job's content hash, so the
+    fault fires on exactly one attempt anywhere in the process tree and
+    the retry of the *same* spec sails through.  That placement is what
+    keeps chaos beneath the runner's retry boundary: the campaign never
+    sees the fault, so the report stays byte-identical.
+
+    With *last_attempt* nothing fires: the plan schedules *survivable*
+    faults by contract, and an execution with no retry budget left has
+    no way to survive one.  This matters for collateral damage — when a
+    killed worker breaks the pool, every other in-flight job falls back
+    to its single in-parent retry, and a fresh fault firing there would
+    escalate into a permanent trial failure the reference run never saw.
+    """
+    if last_attempt or _chaos.active() is None:
+        return
+    fault = _chaos.check_trial(job.key() or job.label)
+    if fault == "timeout":
+        raise JobTimeoutError(f"chaos: job {job.label} forced timeout")
+    if fault == "kill":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            # A real worker death: the pool observes a vanished process
+            # (BrokenProcessPool), exactly like SIGKILL from outside.
+            os._exit(137)
+        raise _chaos.ChaosWorkerDeath(f"chaos: worker killed for {job.label}")
+
+
+def _run_with_timeout(
+    job: Job, timeout: Optional[float], last_attempt: bool = False
+) -> SimulationResult:
     """Execute *job*, bounded by an interval timer where the OS has one."""
+    _inject_trial_fault(job, last_attempt)
     spec = job.spec()
     if not timeout or not hasattr(signal, "SIGALRM"):
         return _run_spec(spec)
@@ -391,7 +433,9 @@ class ParallelRunner:
             if attempt:
                 self.stats.retries += 1
             try:
-                result = _run_with_timeout(job, self.timeout)
+                result = _run_with_timeout(
+                    job, self.timeout, attempt == attempts - 1
+                )
             except Exception:
                 last_error = traceback.format_exc()
                 continue
@@ -445,7 +489,7 @@ class ParallelRunner:
         for index, job, key, error in needs_retry:
             self.stats.retries += 1
             try:
-                result = _run_with_timeout(job, self.timeout)
+                result = _run_with_timeout(job, self.timeout, True)
             except Exception:
                 self.stats.failures += 1
                 runner_error = RunnerError(
@@ -600,10 +644,30 @@ class RunnerSession:
         else:
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            future = self._pool.submit(_worker, (job, self.runner.timeout))
+            try:
+                future = self._pool.submit(_worker, (job, self.runner.timeout))
+            except BrokenExecutor:
+                # A worker died hard enough to poison the executor (the
+                # already-submitted futures surface their own errors
+                # through next_completed's in-parent retry).  Rebuild
+                # once and resubmit; a second failure is a real
+                # environment problem and propagates.
+                self._rebuild_pool()
+                future = self._pool.submit(_worker, (job, self.runner.timeout))
             handle._future = future
             self._futures[future] = handle
         return handle
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken executor with a fresh one (session keeps going)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        recovery.count("pool_rebuilds")
+        recovery.warn(
+            "runner", "worker pool broke (worker died); rebuilt the pool"
+        )
 
     def submit_spec(self, spec: ExperimentSpec, tag: Any = None) -> TrialHandle:
         """:meth:`submit` for an :class:`ExperimentSpec`.
@@ -692,7 +756,9 @@ class RunnerSession:
                 # retry budget directly in the calling process.
                 self.runner.stats.retries += 1
                 try:
-                    result = _run_with_timeout(handle.job, self.runner.timeout)
+                    result = _run_with_timeout(
+                        handle.job, self.runner.timeout, True
+                    )
                 except Exception:
                     self.runner.stats.failures += 1
                     error = RunnerError(

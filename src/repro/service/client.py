@@ -6,39 +6,79 @@ without any dependency beyond the standard library.  Every call opens
 one connection (the server closes per request anyway), decodes JSON,
 and raises :class:`ServiceError` with the server's message on any
 non-2xx status.
+
+The client is restart-tolerant by default:
+
+* every request retries transient failures (connection refused/reset,
+  HTTP 429/502/503/504) with exponential backoff plus jitter — safe for
+  POSTs too, because job ids are content-addressed, so a resubmission
+  of the same spec dedupes onto the original job instead of duplicating
+  work;
+* :meth:`events` reconnects a dropped SSE stream with ``?since=<next
+  seq>``, resuming exactly where it left off — the server's persisted
+  event log makes this work even across a server restart.
+
+Failures that are *not* transient (4xx validation errors, a job that
+genuinely failed) surface immediately; :attr:`ServiceError.retryable`
+says which side of that line an error fell on.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Iterator, Optional
 
+from repro import recovery
 from repro.api import ExperimentSpec, SimulationResult, result_from_dict
+
+#: Statuses worth retrying: overload/backpressure and the gateway-ish
+#: band a proxy in front of the service would emit during a restart.
+RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
 
 
 class ServiceError(Exception):
-    """A non-2xx answer from the service."""
+    """A non-2xx answer from the service.
 
-    def __init__(self, status: int, message: str):
+    ``retryable`` is True when the failure is plausibly transient
+    (server overloaded or mid-restart) and a retry of the identical
+    request is safe and sensible.
+    """
+
+    def __init__(self, status: int, message: str, *, retryable: bool = False):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retryable = retryable
 
 
 class ServiceClient:
-    """Talk to one service instance at ``host:port``."""
+    """Talk to one service instance at ``host:port``.
+
+    *retries* transient-failure re-attempts per request (0 disables);
+    *backoff* is the first retry's delay, doubling per attempt up to
+    *backoff_cap*, with up to ``jitter`` fraction of random extra so a
+    herd of clients does not re-converge on a restarting server.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 2,
+                 backoff: float = 0.1, backoff_cap: float = 2.0,
+                 jitter: float = 0.1):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self._rng = random.Random()
 
     # -- plumbing ---------------------------------------------------------
 
-    def _request(
+    def _once(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> dict[str, Any]:
         conn = http.client.HTTPConnection(
@@ -55,11 +95,38 @@ class ServiceClient:
             data = json.loads(response.read() or b"{}")
             if response.status >= 400:
                 raise ServiceError(
-                    response.status, data.get("error", "unknown error")
+                    response.status,
+                    data.get("error", "unknown error"),
+                    retryable=response.status in RETRYABLE_STATUSES,
                 )
             return data
         finally:
             conn.close()
+
+    def _sleep_before(self, attempt: int) -> None:
+        """Back off before retry *attempt* (1-based), with jitter."""
+        base = min(self.backoff_cap, self.backoff * (2 ** (attempt - 1)))
+        time.sleep(base + self._rng.uniform(0.0, self.jitter * base))
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict[str, Any]:
+        last: Exception = ServiceError(599, "no attempt made")
+        for attempt in range(self.retries + 1):
+            if attempt:
+                recovery.count("client_retries")
+                self._sleep_before(attempt)
+            try:
+                return self._once(method, path, payload)
+            except ServiceError as exc:
+                if not exc.retryable:
+                    raise
+                last = exc
+            except (OSError, http.client.HTTPException) as exc:
+                # Connection refused/reset mid-restart, torn response:
+                # all transient by nature.
+                last = exc
+        raise last
 
     # -- submission -------------------------------------------------------
 
@@ -98,8 +165,8 @@ class ServiceClient:
 
     def health(self) -> bool:
         try:
-            return bool(self._request("GET", "/healthz").get("ok"))
-        except (OSError, ServiceError):
+            return bool(self._once("GET", "/healthz").get("ok"))
+        except (OSError, ServiceError, http.client.HTTPException):
             return False
 
     # -- waiting ----------------------------------------------------------
@@ -145,14 +212,9 @@ class ServiceClient:
 
     # -- progress streaming ------------------------------------------------
 
-    def events(
-        self, job_id: str, *, since: int = 0, timeout: float = 300.0
+    def _stream_once(
+        self, job_id: str, since: int, timeout: float
     ) -> Iterator[dict[str, Any]]:
-        """Yield the job's SSE progress events until it turns terminal.
-
-        Each yielded dict is one decoded ``data:`` payload (``seq``,
-        ``ts``, ``event``, plus event-specific fields).
-        """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout
         )
@@ -162,14 +224,59 @@ class ServiceClient:
             if response.status >= 400:
                 data = json.loads(response.read() or b"{}")
                 raise ServiceError(
-                    response.status, data.get("error", "unknown error")
+                    response.status,
+                    data.get("error", "unknown error"),
+                    retryable=response.status in RETRYABLE_STATUSES,
                 )
             for raw in response:
                 line = raw.decode().rstrip("\n")
                 if line.startswith("data: "):
-                    event = json.loads(line[len("data: "):])
-                    yield event
-                    if event.get("event") in ("done", "failed"):
-                        return
+                    yield json.loads(line[len("data: "):])
         finally:
             conn.close()
+
+    def events(
+        self, job_id: str, *, since: int = 0, timeout: float = 300.0,
+        reconnect: bool = True,
+    ) -> Iterator[dict[str, Any]]:
+        """Yield the job's SSE progress events until it turns terminal.
+
+        Each yielded dict is one decoded ``data:`` payload (``seq``,
+        ``ts``, ``event``, plus event-specific fields).  With
+        *reconnect* (the default), a dropped stream — connection reset,
+        server restarted mid-campaign — is re-established with
+        ``?since=<next seq>`` until the job finishes or *timeout*
+        (a deadline over the whole stream) passes, so the caller sees
+        one gapless, duplicate-free sequence across server restarts.
+        """
+        deadline = time.monotonic() + timeout
+        seq = max(0, since)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"event stream for {job_id!r} incomplete after "
+                    f"{timeout:.0f}s"
+                )
+            try:
+                for event in self._stream_once(job_id, seq, remaining):
+                    if event.get("seq", seq) >= seq:
+                        seq = event.get("seq", seq) + 1
+                        yield event
+                        if event.get("event") in ("done", "failed"):
+                            return
+                # Clean EOF without a terminal event: the server shut
+                # down mid-stream; fall through to reconnect.
+                if not reconnect:
+                    return
+            except ServiceError as exc:
+                # A restarted server reloads its backlog before its
+                # socket binds, so 404 here is a real unknown job, not
+                # a race — only gateway-band errors are worth retrying.
+                if not reconnect or not exc.retryable:
+                    raise
+            except (OSError, http.client.HTTPException):
+                if not reconnect:
+                    raise
+            recovery.count("sse_reconnects")
+            time.sleep(min(0.2, max(0.0, deadline - time.monotonic())))

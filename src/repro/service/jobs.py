@@ -29,6 +29,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro import recovery
+from repro.chaos import runtime as _chaos
+
 #: Job lifecycle states.
 QUEUED = "queued"
 RUNNING = "running"
@@ -129,20 +132,46 @@ class PersistentJobQueue:
         return self.root / f"{safe}.json"
 
     def save(self, record: JobRecord) -> None:
-        """Persist *record* atomically (temp file + rename)."""
+        """Persist *record* atomically (temp file + rename).
+
+        A failed persist (full or read-only disk) degrades to a
+        memory-only record instead of raising: the in-flight job keeps
+        running and the client keeps its stream — the record just will
+        not survive a restart.
+        """
         path = self.path_for(record.id)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record.to_dict()))
-        os.replace(tmp, path)
+        try:
+            _chaos.check_disk_full("queue", record.id)
+            tmp.write_text(json.dumps(record.to_dict()))
+            os.replace(tmp, path)
+        except OSError:
+            recovery.count("queue_save_errors")
+            recovery.warn(
+                "queue",
+                f"could not persist job record {record.id}; "
+                "continuing memory-only",
+            )
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def load(self) -> list[JobRecord]:
         """Every readable record, with interrupted jobs demoted to queued.
 
         Records are returned in submission order (``created``, then id
         for stability), so a restarted server drains its backlog in the
-        order clients submitted it.
+        order clients submitted it.  Leftover ``*.tmp.*`` files from a
+        writer killed mid-save are swept here — the matching ``.json``
+        still holds the previous committed record.
         """
         records = []
+        for stale in self.root.glob("*.tmp.*"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
         for path in self.root.glob("*.json"):
             try:
                 record = JobRecord.from_dict(json.loads(path.read_text()))

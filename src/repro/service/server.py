@@ -38,6 +38,7 @@ facade is frozen.
 from __future__ import annotations
 
 import asyncio
+import json
 import queue as _thread_queue
 import threading
 import time
@@ -47,6 +48,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro import recovery
 from repro.api import (
     CampaignConfig,
     ExperimentSpec,
@@ -95,6 +97,12 @@ class ServiceConfig:
     #: Campaign execution discipline and concurrent-campaign cap.
     campaign_scheduler: str = "stealing"
     max_campaigns: int = 2
+    #: Campaign checkpoint cadence (records-dirty / seconds-elapsed).
+    #: Deliberately tighter than the library defaults: a service exists
+    #: to be killed and restarted, and the checkpoint bounds how much
+    #: work a restart repeats.
+    checkpoint_every_trials: int = 8
+    checkpoint_interval: float = 2.0
     #: Per-job wall-clock budget forwarded to the runner.
     timeout: Optional[float] = None
     #: In-memory retention bounds, so a long-running server does not
@@ -222,6 +230,17 @@ class SimulationService:
     def _resume_backlog(self) -> None:
         """Reload persisted jobs; re-dispatch everything non-terminal.
 
+        Three recovery mechanisms compose here:
+
+        * the queue's crash-safe records bring every accepted job back;
+        * each job's persisted event log is reloaded, so an SSE client
+          reconnecting with ``?since=`` after the restart replays from
+          its last committed event instead of a truncated stream;
+        * a resumed *campaign* job finds its checkpoint beside the
+          queue (the engine re-adopts it), so the restart re-runs only
+          the uncheckpointed tail — the ``resumed`` event carries the
+          committed trial count as proof.
+
         Dispatch is fault-isolated per record: a persisted payload that
         no longer validates (scheme removed, field renamed, spec format
         bump) marks that one record failed instead of raising out of
@@ -230,10 +249,21 @@ class SimulationService:
         """
         for record in self.queue.load():
             self._jobs[record.id] = record
-            self._events.setdefault(record.id, [])
+            self._events[record.id] = self._load_event_log(record.id)
             if record.terminal:
                 continue
+            recovery.count("jobs_resumed")
             self._emit(record.id, "queued", resumed=True)
+            if record.kind == "campaign":
+                committed = self._checkpoint_trials(record.id)
+                if committed:
+                    recovery.count("campaigns_resumed")
+                    recovery.warn(
+                        "service",
+                        f"resuming campaign {record.id} from checkpoint "
+                        f"({committed} trials committed)",
+                    )
+                self._emit(record.id, "resumed", trials_committed=committed)
             try:
                 self._dispatch(record)
             except Exception as exc:
@@ -244,6 +274,18 @@ class SimulationService:
                 self.queue.save(record)
                 self._emit(record.id, "failed", error=record.error)
         self._prune_terminal()
+
+    def _checkpoint_trials(self, job_id: str) -> int:
+        """Committed trial records in a campaign job's checkpoint (0 if
+        none/corrupt — the engine's own loader decides what to adopt;
+        this is only the resume event's evidence)."""
+        path = self.queue.root / f"{job_id}.ckpt.json"
+        try:
+            payload = json.loads(path.read_text())
+            cells = payload.get("cells", {})
+            return sum(len(v) for v in cells.values() if isinstance(v, list))
+        except (OSError, ValueError, AttributeError, TypeError):
+            return 0
 
     # -- submission and dispatch (loop thread) ----------------------------
 
@@ -483,13 +525,13 @@ class SimulationService:
             runner,
             scheduler=self.config.campaign_scheduler,
             checkpoint_path=self.queue.root / f"{job_id}.ckpt.json",
+            checkpoint_every_trials=self.config.checkpoint_every_trials,
+            checkpoint_interval=self.config.checkpoint_interval,
         )
         report = engine.run()
         telemetry = engine.telemetry()
         telemetry["runner"] = runner.stats.snapshot()
-        import json as _json
-
-        return _json.loads(report.to_json()), telemetry
+        return json.loads(report.to_json()), telemetry
 
     def _prune_terminal(self) -> None:
         """Bound retention of finished jobs (memory *and* queue files).
@@ -510,8 +552,41 @@ class SimulationService:
             self._events.pop(record.id, None)
             self._campaign_telemetry.pop(record.id, None)
             self.queue.remove(record.id)
+            for path in (
+                self._events_path(record.id),
+                self.queue.root / f"{record.id}.ckpt.json",
+            ):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     # -- progress events ---------------------------------------------------
+
+    def _events_path(self, job_id: str) -> Path:
+        safe = job_id.replace("/", "_").replace("\\", "_")
+        return self.queue.root / f"{safe}.events.jsonl"
+
+    def _load_event_log(self, job_id: str) -> list[dict[str, Any]]:
+        """Reload a job's persisted progress events (restart survival).
+
+        Tolerant line-by-line parse: a line torn by the kill that took
+        the server down is dropped, everything before it survives, and
+        ``seq`` keeps counting from what was kept.
+        """
+        events: list[dict[str, Any]] = []
+        try:
+            text = self._events_path(job_id).read_text()
+        except OSError:
+            return events
+        for line in text.splitlines():
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict) and entry.get("seq") == len(events):
+                events.append(entry)
+        return events
 
     def _emit(self, job_id: str, event: str, **data: Any) -> None:
         log = self._events.setdefault(job_id, [])
@@ -523,6 +598,14 @@ class SimulationService:
             **data,
         }
         log.append(entry)
+        try:
+            with self._events_path(job_id).open("a") as fh:
+                fh.write(json.dumps(entry) + "\n")
+        except OSError:
+            # The in-memory log keeps streaming; only restart replay
+            # degrades.
+            recovery.count("event_log_errors")
+            recovery.warn("service", "event log append failed; continuing")
         if self._changed is not None:
             asyncio.ensure_future(self._notify())
 
@@ -554,6 +637,7 @@ class SimulationService:
                 for backend, vals in sorted(self._latency.items())
             },
             "campaigns": self._campaign_telemetry,
+            "recovery": recovery.snapshot(),
         }
 
     # -- HTTP --------------------------------------------------------------

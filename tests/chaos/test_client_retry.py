@@ -1,0 +1,173 @@
+"""ServiceClient retry/backoff and SSE reconnection, against a fake server.
+
+A tiny scripted HTTP server stands in for a service that is overloaded
+or restarting: it answers each request from a prearranged script (503,
+connection drop, partial SSE stream, ...).  The client contract under
+test:
+
+* transient failures (gateway-band statuses, connection errors) are
+  retried with backoff and counted in the recovery ledger;
+* non-retryable statuses (validation 4xx) surface immediately;
+* a dropped event stream is reconnected with ``?since=<next seq>`` and
+  the caller sees one gapless, duplicate-free sequence.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import pytest
+
+from repro import recovery
+from repro.service.client import ServiceClient, ServiceError
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Answers GETs by popping the server's script; records each hit."""
+
+    def do_GET(self):
+        server = self.server
+        parsed = urlparse(self.path)
+        server.hits.append(self.path)
+        step = server.script.pop(0) if server.script else ("json", 200, {})
+        kind = step[0]
+        if kind == "json":
+            _, status, payload = step
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif kind == "sse":
+            # Emit events starting at ?since= (or the scripted start
+            # override), then drop the connection after ``count``
+            # events (simulating a server death mid-stream).
+            _, count, terminal = step[:3]
+            since = int(parse_qs(parsed.query).get("since", ["0"])[0])
+            if len(step) > 3:
+                since = step[3]
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.end_headers()
+            for offset in range(count):
+                seq = since + offset
+                name = terminal if offset == count - 1 and terminal else "progress"
+                event = {"seq": seq, "event": name}
+                self.wfile.write(f"data: {json.dumps(event)}\n\n".encode())
+
+    def log_message(self, *args):  # keep pytest output clean
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = []
+    server.hits = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _client(server, **kwargs):
+    kwargs.setdefault("retries", 2)
+    kwargs.setdefault("backoff", 0.01)
+    kwargs.setdefault("jitter", 0.0)
+    kwargs.setdefault("timeout", 5.0)
+    return ServiceClient("127.0.0.1", server.server_address[1], **kwargs)
+
+
+class TestRequestRetry:
+    def test_retries_through_503_and_counts_them(self, scripted_server):
+        scripted_server.script = [
+            ("json", 503, {"error": "restarting"}),
+            ("json", 503, {"error": "restarting"}),
+            ("json", 200, {"recovery": {}}),
+        ]
+        before = recovery.counter("client_retries")
+        payload = _client(scripted_server).telemetry()
+        assert payload == {"recovery": {}}
+        assert len(scripted_server.hits) == 3
+        assert recovery.counter("client_retries") == before + 2
+
+    def test_retries_exhausted_raises_last_error(self, scripted_server):
+        scripted_server.script = [
+            ("json", 503, {"error": "still down"}) for _ in range(3)
+        ]
+        with pytest.raises(ServiceError) as excinfo:
+            _client(scripted_server).telemetry()
+        assert excinfo.value.status == 503
+        assert excinfo.value.retryable
+
+    def test_validation_error_is_not_retried(self, scripted_server):
+        scripted_server.script = [("json", 400, {"error": "bad spec"})]
+        with pytest.raises(ServiceError) as excinfo:
+            _client(scripted_server).telemetry()
+        assert excinfo.value.status == 400
+        assert not excinfo.value.retryable
+        assert len(scripted_server.hits) == 1
+
+    def test_connection_refused_is_retried_then_raised(self):
+        # Nothing listens on this socket: every attempt is an OSError.
+        client = ServiceClient(
+            "127.0.0.1", 1, retries=1, backoff=0.01, jitter=0.0, timeout=0.5
+        )
+        before = recovery.counter("client_retries")
+        with pytest.raises(OSError):
+            client.telemetry()
+        assert recovery.counter("client_retries") == before + 1
+
+    def test_health_never_raises(self):
+        client = ServiceClient("127.0.0.1", 1, timeout=0.5)
+        assert client.health() is False
+
+
+class TestEventStreamReconnect:
+    def test_dropped_stream_resumes_with_since(self, scripted_server):
+        # First connection dies after two events; the reconnect must
+        # ask for ?since=2 and run to the terminal event.
+        scripted_server.script = [
+            ("sse", 2, None),
+            ("sse", 2, "done"),
+        ]
+        before = recovery.counter("sse_reconnects")
+        events = list(_client(scripted_server).events("j1", timeout=10.0))
+        assert [e["seq"] for e in events] == [0, 1, 2, 3]
+        assert events[-1]["event"] == "done"
+        assert recovery.counter("sse_reconnects") == before + 1
+        sinces = [
+            parse_qs(urlparse(path).query)["since"][0]
+            for path in scripted_server.hits
+        ]
+        assert sinces == ["0", "2"]
+
+    def test_duplicate_events_are_filtered(self, scripted_server):
+        # A server replaying from an older offset must not surface
+        # already-delivered events twice.
+        scripted_server.script = [
+            ("sse", 3, None),  # seqs 0, 1, 2, then the connection dies
+            ("sse", 4, "done", 1),  # replays from seq 1: overlap 1, 2
+        ]
+        events = list(
+            _client(scripted_server).events("j1", since=0, timeout=10.0)
+        )
+        assert [e["seq"] for e in events] == [0, 1, 2, 3, 4]
+
+    def test_no_reconnect_when_disabled(self, scripted_server):
+        scripted_server.script = [("sse", 2, None)]
+        events = list(
+            _client(scripted_server).events("j1", timeout=10.0, reconnect=False)
+        )
+        assert len(events) == 2
+        assert len(scripted_server.hits) == 1
+
+    def test_404_surfaces_immediately(self, scripted_server):
+        scripted_server.script = [("json", 404, {"error": "no such job"})]
+        with pytest.raises(ServiceError) as excinfo:
+            list(_client(scripted_server).events("nope", timeout=5.0))
+        assert excinfo.value.status == 404
+        assert len(scripted_server.hits) == 1

@@ -1,0 +1,89 @@
+"""Regression tests for the FileLease double-takeover race.
+
+The old takeover protocol (observe stale → ``unlink`` → create) let two
+engines both "win": A unlinks the stale file and creates a fresh lease,
+then B's queued unlink removes *A's* lease and B creates its own — two
+concurrent holders of the same cell.  The fixed protocol retires the
+stale file with an atomic ``os.rename`` to a unique graveyard name, so
+exactly one racer proceeds to the ``O_EXCL`` create and a *fresh* lease
+can never be swept away.  These tests hammer exactly that interleaving.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro import recovery
+from repro.harness.cache import FileLease
+
+TTL = 5.0
+
+
+def _make_stale(path, owner="ghost:dead:0"):
+    path.write_text(json.dumps({"owner": owner, "pid": 0}))
+    stale = time.time() - 10 * TTL
+    os.utime(path, times=(stale, stale))
+
+
+class TestDoubleTakeoverRace:
+    def test_concurrent_takeover_yields_at_most_one_holder(self, tmp_path):
+        # Many iterations: the race window is one syscall wide, so a
+        # single round would almost never catch a regression.
+        for i in range(25):
+            path = tmp_path / f"cell-{i}.lease"
+            _make_stale(path)
+            leases = [
+                FileLease(path, f"racer-{j}:{os.getpid()}:{i}", ttl=TTL)
+                for j in range(4)
+            ]
+            barrier = threading.Barrier(len(leases))
+            wins = [False] * len(leases)
+
+            def attempt(idx, lease):
+                barrier.wait()
+                wins[idx] = lease.acquire()
+
+            threads = [
+                threading.Thread(target=attempt, args=(j, lease))
+                for j, lease in enumerate(leases)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert sum(wins), f"round {i}: stale lease never broken"
+            assert sum(wins) == 1, f"round {i}: {sum(wins)} concurrent holders"
+            winner = leases[wins.index(True)]
+            assert winner.holder() == winner.owner
+            # No graveyard litter left behind.
+            assert list(tmp_path.glob("*.broken.*")) == []
+
+    def test_fresh_lease_is_never_broken(self, tmp_path):
+        path = tmp_path / "cell.lease"
+        holder = FileLease(path, "alive:1:0", ttl=TTL)
+        assert holder.acquire()
+        rival = FileLease(path, "rival:2:0", ttl=TTL)
+        assert not rival._break_stale()
+        assert not rival.acquire()
+        assert holder.held()
+
+    def test_renew_between_staleness_check_and_rename_is_honored(self, tmp_path):
+        # _break_stale re-verifies the mtime *after* the rename (rename
+        # preserves it) and restores the file when a renew slipped in.
+        path = tmp_path / "cell.lease"
+        holder = FileLease(path, "alive:1:0", ttl=TTL)
+        assert holder.acquire()
+        rival = FileLease(path, "rival:2:0", ttl=TTL)
+        assert not rival._break_stale()  # fresh mtime → restored
+        assert path.exists()
+        assert holder.held()
+
+    def test_takeover_is_counted(self, tmp_path):
+        before = recovery.counter("lease_takeovers")
+        path = tmp_path / "cell.lease"
+        _make_stale(path)
+        taker = FileLease(path, "taker:1:0", ttl=TTL)
+        assert taker.acquire()
+        assert recovery.counter("lease_takeovers") == before + 1

@@ -1,0 +1,28 @@
+"""Service killed mid-campaign resumes from its checkpoint on restart.
+
+The scenario runs the real server in a subprocess, SIGKILLs it after at
+least one trial is committed to the campaign checkpoint, restarts it on
+the same queue/cache directories, and then proves from the outside:
+
+* the restarted server finishes the job without a client resubmission;
+* the ``resumed`` SSE event reports ``trials_committed >= 1``;
+* the second life's runner submitted *fewer* jobs than the full trial
+  budget (the checkpoint actually saved work — no silent full re-run);
+* the final report is byte-identical to an undisturbed reference run.
+
+This is the slowest chaos scenario (two server processes), hence its
+own module — everything in-process lives in ``test_chaos_scenarios``.
+"""
+
+from repro.chaos import runtime
+from repro.chaos.scenarios import run_scenario
+
+
+def test_service_restart_resumes_from_checkpoint(tmp_path):
+    runtime.uninstall()
+    try:
+        result = run_scenario("service-restart", workdir=tmp_path, seed=0)
+    finally:
+        runtime.uninstall()
+    assert result.passed, result.detail
+    assert "resumed" in result.detail
